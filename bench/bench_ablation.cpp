@@ -1,0 +1,86 @@
+// Ablations of the design choices DESIGN.md calls out:
+//   A1: constraint weights -- ihybrid's weight-ordered greedy vs unit
+//       weights (does ordering by product-term savings matter?)
+//   A2: the semiexact work budget (max_work), the paper's "magic number"
+//   A3: projection from the minimum length vs semiexact directly at the
+//       target length (our extension; paper always starts at the minimum)
+//   A4: espresso full reduce/expand/irredundant loop vs a single pass for
+//       the final encoded cover
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "encoding/hybrid.hpp"
+
+namespace {
+const char* kMachines[] = {"bbtas", "dk27", "train11", "donfile",
+                           "dk16",  "keyb", "s1",      "planet"};
+}
+
+int main() {
+  using namespace nova::bench;
+  std::vector<std::string> names;
+  if (const char* only = std::getenv("NOVA_BENCH_ONLY")) {
+    names.push_back(only);
+  } else {
+    for (const char* n : kMachines) names.push_back(n);
+  }
+
+  std::printf("A1/A2/A3: ihybrid area under ablations\n");
+  std::printf("%-10s %9s %9s | %8s %8s | %9s %9s\n", "EXAMPLE", "weighted",
+              "unit-wgt", "work=500", "work=50k", "min-start", "at-nbits");
+  long t_w = 0, t_u = 0, t_lo = 0, t_hi = 0, t_min = 0, t_at = 0;
+  for (const auto& name : names) {
+    BenchContext ctx(name);
+    auto ics = ctx.input_constraints();
+    const int n = ctx.fsm().num_states();
+    const int bits = ctx.min_length() + 1;
+
+    auto run = [&](std::vector<nova::encoding::InputConstraint> cs,
+                   long work, bool at_nbits) {
+      nova::encoding::HybridOptions ho;
+      ho.nbits = bits;
+      ho.max_work = work;
+      ho.start_at_nbits = at_nbits;
+      auto hr = nova::encoding::ihybrid_code(cs, n, ho);
+      return ctx.evaluate(hr.enc).area;
+    };
+
+    auto unit = ics;
+    for (auto& ic : unit) ic.weight = 1;
+    long a_w = run(ics, 20000, false);
+    long a_u = run(unit, 20000, false);
+    long a_lo = run(ics, 500, false);
+    long a_hi = run(ics, 50000, false);
+    long a_at = run(ics, 20000, true);
+    std::printf("%-10s %9ld %9ld | %8ld %8ld | %9ld %9ld\n", name.c_str(),
+                a_w, a_u, a_lo, a_hi, a_w, a_at);
+    std::fflush(stdout);
+    t_w += a_w;
+    t_u += a_u;
+    t_lo += a_lo;
+    t_hi += a_hi;
+    t_min += a_w;
+    t_at += a_at;
+  }
+  std::printf("%-10s %9ld %9ld | %8ld %8ld | %9ld %9ld\n", "TOTAL", t_w, t_u,
+              t_lo, t_hi, t_min, t_at);
+
+  std::printf("\nA4: espresso loop vs single pass (final-cover cubes)\n");
+  std::printf("%-10s %10s %12s\n", "EXAMPLE", "full-loop", "single-pass");
+  long c_full = 0, c_single = 0;
+  for (const auto& name : names) {
+    BenchContext ctx(name);
+    auto hy = ctx.run_ihybrid(0);
+    nova::logic::EspressoOptions single;
+    single.single_pass = true;
+    auto full = nova::driver::evaluate_encoding(ctx.fsm(), hy.enc);
+    auto once = nova::driver::evaluate_encoding(ctx.fsm(), hy.enc, single);
+    std::printf("%-10s %10d %12d\n", name.c_str(), full.metrics.cubes,
+                once.metrics.cubes);
+    std::fflush(stdout);
+    c_full += full.metrics.cubes;
+    c_single += once.metrics.cubes;
+  }
+  std::printf("%-10s %10ld %12ld\n", "TOTAL", c_full, c_single);
+  return 0;
+}

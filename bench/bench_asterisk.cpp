@@ -1,0 +1,52 @@
+// The paper's asterisked rows (Tables II-IV): simultaneous encoding of the
+// symbolic proper inputs and the states. For each fully-input-specified
+// machine we print the standard state-only encoding next to the
+// symbolic-input variant (inputs re-encoded as one multiple-valued
+// variable); the area formula then uses the encoded input bit count.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "nova/symbolic_inputs.hpp"
+
+namespace {
+const char* kMachines[] = {"dk15", "dk14", "dk27", "dk17", "dk512",
+                           "shiftreg", "modulo12", "tav", "bbtas"};
+}
+
+int main() {
+  using namespace nova::bench;
+  std::printf(
+      "Asterisk rows: state-only vs state+symbolic-input encoding\n"
+      "%-10s | %6s %6s %7s | %5s %6s %6s %7s\n",
+      "EXAMPLE", "bits", "cubes", "area", "isyms", "i+s", "cubes", "area");
+  long tot_plain = 0, tot_star = 0;
+  std::vector<std::string> names;
+  if (const char* only = std::getenv("NOVA_BENCH_ONLY")) {
+    names.push_back(only);
+  } else {
+    for (const char* n : kMachines) names.push_back(n);
+  }
+  for (const auto& name : names) {
+    BenchContext ctx(name);
+    AlgoResult plain = ctx.run_ihybrid(fast_mode() ? 0 : 1);
+    auto star = nova::driver::encode_with_symbolic_inputs(ctx.fsm());
+    std::printf("%-10s | %6d %6d %7ld |", name.c_str(), plain.nbits,
+                plain.cubes, plain.area);
+    if (star.applied) {
+      std::printf(" %5d %6d %6d %7ld\n", star.num_input_symbols,
+                  star.input_enc.nbits + star.metrics.nbits,
+                  star.metrics.cubes, star.metrics.area);
+      tot_star += star.metrics.area;
+      tot_plain += plain.area;
+    } else {
+      std::printf(" %5s %6s %6s %7s\n", "-", "-", "-", "-");
+    }
+    std::fflush(stdout);
+  }
+  std::printf(
+      "\nTOTAL (applicable rows): state-only %ld, inputs+states %ld\n"
+      "Shape to check: re-encoding the proper inputs reduces PLA columns "
+      "when the raw input space is sparsely used (the paper's dk rows).\n",
+      tot_plain, tot_star);
+  return 0;
+}

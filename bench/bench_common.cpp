@@ -1,0 +1,246 @@
+#include "bench_common.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+
+#include "encoding/embed.hpp"
+#include "encoding/polish.hpp"
+
+namespace nova::bench {
+
+namespace {
+double now_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+}  // namespace
+
+bool fast_mode() {
+  const char* v = std::getenv("NOVA_BENCH_FAST");
+  return v && v[0] == '1';
+}
+
+std::vector<std::string> bench_names() {
+  if (const char* only = std::getenv("NOVA_BENCH_ONLY")) {
+    return {std::string(only)};
+  }
+  std::vector<std::string> out;
+  for (const auto& b : bench_data::table1_benchmarks()) out.push_back(b.name);
+  return out;
+}
+
+BenchContext::BenchContext(const std::string& name)
+    : name_(name), fsm_(bench_data::load_benchmark(name)) {}
+
+int BenchContext::min_length() const {
+  return encoding::min_code_length(fsm_.num_states());
+}
+
+const std::vector<encoding::InputConstraint>&
+BenchContext::input_constraints() {
+  if (!ic_) ic_ = constraints::extract_input_constraints(fsm_, eopts_);
+  return ic_->constraints;
+}
+
+int BenchContext::one_hot_cubes() {
+  if (!ic_) ic_ = constraints::extract_input_constraints(fsm_, eopts_);
+  return ic_->minimized_cubes;
+}
+
+const constraints::SymbolicMinResult& BenchContext::symbolic() {
+  if (!sm_) sm_ = constraints::symbolic_minimize(fsm_, eopts_);
+  return *sm_;
+}
+
+PlaMetrics BenchContext::evaluate(const Encoding& enc) {
+  return driver::evaluate_encoding(fsm_, enc, eopts_).metrics;
+}
+
+AlgoResult BenchContext::run_iexact(long work_budget, int max_extra_bits) {
+  AlgoResult res;
+  double t0 = now_seconds();
+  encoding::InputGraph ig(input_constraints(), fsm_.num_states());
+  encoding::ExactOptions eo;
+  eo.max_work = fast_mode() ? work_budget / 10 : work_budget;
+  eo.max_bits = std::min(min_length() + max_extra_bits, fsm_.num_states());
+  auto er = encoding::iexact_code(ig, eo);
+  res.seconds = now_seconds() - t0;
+  if (!er.success) return res;
+  res.ok = true;
+  res.enc = std::move(er.enc);
+  PlaMetrics m = evaluate(res.enc);
+  res.nbits = m.nbits;
+  res.cubes = m.cubes;
+  res.area = m.area;
+  return res;
+}
+
+namespace {
+AlgoResult best_of(BenchContext& ctx, int sweep,
+                   const std::function<Encoding(int nbits)>& make) {
+  AlgoResult best;
+  double t0 = now_seconds();
+  for (int extra = 0; extra <= sweep; ++extra) {
+    int nbits = ctx.min_length() + extra;
+    if (nbits > 62) break;
+    Encoding enc = make(nbits);
+    if (enc.num_states() == 0) continue;
+    PlaMetrics m = ctx.evaluate(enc);
+    if (!best.ok || m.area < best.area) {
+      best.ok = true;
+      best.enc = std::move(enc);
+      best.nbits = m.nbits;
+      best.cubes = m.cubes;
+      best.area = m.area;
+    }
+  }
+  best.seconds = now_seconds() - t0;
+  return best;
+}
+}  // namespace
+
+AlgoResult BenchContext::run_ihybrid(int sweep) {
+  const auto& ics = input_constraints();
+  const int n = fsm_.num_states();
+  auto make = [&](int nbits, bool at_nbits) {
+    encoding::HybridOptions ho;
+    ho.nbits = nbits;
+    ho.max_work = fast_mode() ? 5000 : 20000;
+    ho.start_at_nbits = at_nbits;
+    Encoding enc = encoding::ihybrid_code(ics, n, ho).enc;
+    encoding::polish_encoding(enc, ics);
+    return enc;
+  };
+  // Paper flavour: semiexact at the minimum length, projection above it.
+  AlgoResult a =
+      best_of(*this, sweep, [&](int nbits) { return make(nbits, false); });
+  if (sweep == 0) return a;
+  // Extension: semiexact directly at each swept length.
+  AlgoResult b =
+      best_of(*this, sweep, [&](int nbits) { return make(nbits, true); });
+  return (b.ok && (!a.ok || b.area < a.area)) ? b : a;
+}
+
+AlgoResult BenchContext::run_igreedy(int sweep) {
+  const auto& ics = input_constraints();
+  const int n = fsm_.num_states();
+  return best_of(*this, sweep, [&](int nbits) {
+    Encoding enc = encoding::igreedy_code(ics, n, nbits).enc;
+    encoding::polish_encoding(enc, ics);
+    return enc;
+  });
+}
+
+AlgoResult BenchContext::run_iohybrid(int sweep) {
+  const auto& sm = symbolic();
+  const int n = fsm_.num_states();
+  AlgoResult a = best_of(*this, sweep, [&](int nbits) {
+    encoding::HybridOptions ho;
+    ho.nbits = nbits;
+    ho.max_work = fast_mode() ? 5000 : 20000;
+    return encoding::iohybrid_code(sm.ic, sm.clusters, n, ho).enc;
+  });
+  if (sweep == 0) return a;
+  AlgoResult b = best_of(*this, sweep, [&](int nbits) {
+    encoding::HybridOptions ho;
+    ho.nbits = nbits;
+    ho.max_work = fast_mode() ? 5000 : 20000;
+    ho.start_at_nbits = true;
+    return encoding::iohybrid_code(sm.ic, sm.clusters, n, ho).enc;
+  });
+  return (b.ok && (!a.ok || b.area < a.area)) ? b : a;
+}
+
+AlgoResult BenchContext::run_kiss() {
+  AlgoResult res;
+  double t0 = now_seconds();
+  encoding::HybridOptions ho;
+  ho.max_work = fast_mode() ? 5000 : 20000;
+  auto kr = encoding::kiss_code(input_constraints(), fsm_.num_states(), ho);
+  res.seconds = now_seconds() - t0;
+  if (kr.enc.nbits > 20) return res;  // too wide to evaluate sensibly
+  res.ok = true;
+  res.enc = std::move(kr.enc);
+  PlaMetrics m = evaluate(res.enc);
+  res.nbits = m.nbits;
+  res.cubes = m.cubes;
+  res.area = m.area;
+  return res;
+}
+
+AlgoResult BenchContext::run_mustang_best(int sweep) {
+  AlgoResult best;
+  util::Rng rng(77);
+  for (auto variant :
+       {encoding::MustangVariant::kFanout, encoding::MustangVariant::kFanin}) {
+    for (int extra = 0; extra <= sweep; ++extra) {
+      int nbits = min_length() + extra;
+      if (nbits > 20) break;
+      Encoding enc = encoding::mustang_code(fsm_, nbits, variant, rng);
+      PlaMetrics m = evaluate(enc);
+      if (!best.ok || m.area < best.area) {
+        best.ok = true;
+        best.enc = std::move(enc);
+        best.nbits = m.nbits;
+        best.cubes = m.cubes;
+        best.area = m.area;
+      }
+    }
+  }
+  return best;
+}
+
+BenchContext::RandomStats BenchContext::run_random(int trials) {
+  RandomStats rs;
+  rs.nbits = min_length();
+  long total = 0;
+  for (int t = 0; t < trials; ++t) {
+    util::Rng rng(1000 + 37 * t);
+    Encoding enc = encoding::random_encoding(fsm_.num_states(), rs.nbits, rng);
+    PlaMetrics m = evaluate(enc);
+    total += m.area;
+    if (t == 0 || m.area < rs.best_area) {
+      rs.best_area = m.area;
+      rs.best_cubes = m.cubes;
+    }
+  }
+  rs.avg_area = trials > 0 ? total / trials : 0;
+  return rs;
+}
+
+BenchContext::HybridStats BenchContext::hybrid_stats() {
+  HybridStats hs;
+  double t0 = now_seconds();
+  encoding::HybridOptions ho;
+  ho.nbits = 62;  // project until everything is satisfied
+  ho.max_work = fast_mode() ? 5000 : 20000;
+  auto hr = encoding::ihybrid_code(input_constraints(), fsm_.num_states(), ho);
+  hs.seconds = now_seconds() - t0;
+  hs.clength = hr.clength_all;
+  // Weights at the minimum length: rerun capped at min length.
+  ho.nbits = 0;
+  auto hmin = encoding::ihybrid_code(input_constraints(), fsm_.num_states(),
+                                     ho);
+  for (const auto& ic : hmin.sic) hs.wsat += ic.weight;
+  for (const auto& ic : hmin.ric) hs.wunsat += ic.weight;
+  return hs;
+}
+
+void print_percent_row(const std::vector<std::pair<std::string, long>>& totals,
+                       long reference) {
+  std::printf("%-10s", "TOTAL");
+  for (const auto& [label, total] : totals) {
+    std::printf(" %10ld", total);
+  }
+  std::printf("\n%-10s", "%");
+  for (const auto& [label, total] : totals) {
+    std::printf(" %10ld",
+                reference > 0 ? (100 * total) / reference : 0);
+  }
+  std::printf("\n");
+}
+
+}  // namespace nova::bench

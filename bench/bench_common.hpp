@@ -1,0 +1,97 @@
+// Shared harness for the table/figure reproduction binaries.
+//
+// A BenchContext caches the per-FSM artifacts that several algorithms share
+// (input constraints from MV minimization, symbolic minimization results),
+// so each bench pays the extraction cost once per machine.
+//
+// Environment knobs:
+//   NOVA_BENCH_FAST=1     shrink random-trial counts and work budgets
+//   NOVA_BENCH_ONLY=name  run a single benchmark by name
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "bench_data/benchmarks.hpp"
+#include "constraints/input_constraints.hpp"
+#include "constraints/symbolic_min.hpp"
+#include "nova/nova.hpp"
+
+namespace nova::bench {
+
+using driver::Encoding;
+using driver::PlaMetrics;
+
+struct AlgoResult {
+  bool ok = false;
+  int nbits = 0;
+  int cubes = 0;
+  long area = 0;
+  Encoding enc;
+  double seconds = 0.0;
+};
+
+class BenchContext {
+ public:
+  explicit BenchContext(const std::string& name);
+
+  const fsm::Fsm& fsm() const { return fsm_; }
+  const std::string& name() const { return name_; }
+  int min_length() const;
+
+  /// Input constraints (MV minimization), extracted lazily and cached.
+  const std::vector<encoding::InputConstraint>& input_constraints();
+  /// Cardinality of the minimized MV cover = the 1-hot cube count.
+  int one_hot_cubes();
+  /// Symbolic minimization artifacts, computed lazily and cached.
+  const constraints::SymbolicMinResult& symbolic();
+
+  /// Evaluates an encoding on this FSM (espresso + area).
+  PlaMetrics evaluate(const Encoding& enc);
+
+  // --- algorithm runners (sweep = extra bits above minimum to try; the
+  //     best-area encoding wins, matching the paper's methodology) ---
+  AlgoResult run_iexact(long work_budget, int max_extra_bits);
+  AlgoResult run_ihybrid(int sweep);
+  AlgoResult run_igreedy(int sweep);
+  AlgoResult run_iohybrid(int sweep);
+  AlgoResult run_kiss();
+  AlgoResult run_mustang_best(int sweep);  ///< best of fanout/fanin
+  struct RandomStats {
+    long best_area = 0;
+    long avg_area = 0;
+    int best_cubes = 0;
+    int nbits = 0;
+  };
+  RandomStats run_random(int trials);
+
+  /// ihybrid statistics for Table VI (weights satisfied/unsatisfied and the
+  /// code length at which every constraint is satisfied).
+  struct HybridStats {
+    int wsat = 0;
+    int wunsat = 0;    ///< weight unsatisfied at the minimum length
+    int clength = -1;  ///< length satisfying everything (projection)
+    double seconds = 0.0;
+  };
+  HybridStats hybrid_stats();
+
+ private:
+  std::string name_;
+  fsm::Fsm fsm_;
+  std::optional<constraints::InputConstraintResult> ic_;
+  std::optional<constraints::SymbolicMinResult> sm_;
+  logic::EspressoOptions eopts_;
+};
+
+bool fast_mode();
+
+/// The benchmark names to run (honors NOVA_BENCH_ONLY).
+std::vector<std::string> bench_names();
+
+/// Prints a "TOTAL / %" footer given (label, total) pairs where the first
+/// entry is the 100% reference... callers pass the reference explicitly.
+void print_percent_row(const std::vector<std::pair<std::string, long>>& totals,
+                       long reference);
+
+}  // namespace nova::bench

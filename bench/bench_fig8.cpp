@@ -1,0 +1,41 @@
+// Figures VIII and IX: per-example area ratios over NOVA's best result,
+// with examples ordered by increasing number of states (the x-axis of the
+// paper's plots). Fig VIII: random-best/NOVA, random-avg/NOVA, KISS/NOVA.
+// Fig IX: ihybrid/NOVA and iohybrid/NOVA.
+#include <algorithm>
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace nova::bench;
+  std::printf(
+      "Figures VIII & IX: area ratios vs NOVA best (x ordered by #states)\n"
+      "%-10s %7s | %9s %9s %9s | %9s %9s\n",
+      "EXAMPLE", "#states", "rbest/N", "ravg/N", "KISS/N", "ihyb/N",
+      "iohyb/N");
+  for (const auto& name : bench_names()) {
+    BenchContext ctx(name);
+    AlgoResult hy = ctx.run_ihybrid(fast_mode() ? 1 : 2);
+    AlgoResult gr = ctx.run_igreedy(fast_mode() ? 1 : 2);
+    AlgoResult io = ctx.run_iohybrid(fast_mode() ? 1 : 2);
+    AlgoResult hg = (gr.ok && (!hy.ok || gr.area < hy.area)) ? gr : hy;
+    AlgoResult best = (io.ok && (!hg.ok || io.area < hg.area)) ? io : hg;
+    AlgoResult kiss = ctx.run_kiss();
+    int trials = std::min(ctx.fsm().num_states(), fast_mode() ? 3 : 12);
+    auto rnd = ctx.run_random(trials);
+    double n = static_cast<double>(best.area);
+    std::printf("%-10s %7d | %9.2f %9.2f ", name.c_str(),
+                ctx.fsm().num_states(), rnd.best_area / n, rnd.avg_area / n);
+    if (kiss.ok)
+      std::printf("%9.2f |", kiss.area / n);
+    else
+      std::printf("%9s |", "-");
+    std::printf(" %9.2f %9.2f\n", hg.area / n, io.area / n);
+    std::fflush(stdout);
+  }
+  std::printf(
+      "\nShape to check (paper Figs VIII-IX): ratios >= 1.0 nearly "
+      "everywhere, random-avg highest, ihybrid/iohybrid close to 1.\n");
+  return 0;
+}

@@ -1,0 +1,148 @@
+// Microbenchmarks (google-benchmark) of the library's hot kernels:
+// tautology, complement, espresso, constraint extraction, semiexact
+// embedding, projection, and the satisfaction checker.
+#include <benchmark/benchmark.h>
+
+#include "bench_data/benchmarks.hpp"
+#include "constraints/input_constraints.hpp"
+#include "encoding/baselines.hpp"
+#include "encoding/embed.hpp"
+#include "encoding/hybrid.hpp"
+#include "fsm/symbolic.hpp"
+#include "logic/espresso.hpp"
+#include "nova/nova.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace nova;
+
+logic::Cover random_cover(int nvars, int ncubes, uint64_t seed) {
+  util::Rng rng(seed);
+  logic::CubeSpec spec = logic::CubeSpec::binary(nvars);
+  logic::Cover f(spec);
+  for (int i = 0; i < ncubes; ++i) {
+    std::string row(nvars, '-');
+    for (auto& ch : row) {
+      int r = rng.uniform(3);
+      ch = r == 0 ? '0' : (r == 1 ? '1' : '-');
+    }
+    logic::Cube q = logic::Cube::full(spec);
+    q.set_binary_from_pla(spec, 0, row);
+    f.add(q);
+  }
+  return f;
+}
+
+void BM_Tautology(benchmark::State& state) {
+  auto f = random_cover(static_cast<int>(state.range(0)), 40, 11);
+  for (auto _ : state) benchmark::DoNotOptimize(logic::tautology(f));
+}
+BENCHMARK(BM_Tautology)->Arg(8)->Arg(12)->Arg(16);
+
+void BM_Complement(benchmark::State& state) {
+  auto f = random_cover(static_cast<int>(state.range(0)), 20, 13);
+  for (auto _ : state) {
+    auto c = logic::complement(f);
+    benchmark::DoNotOptimize(c.size());
+  }
+}
+BENCHMARK(BM_Complement)->Arg(8)->Arg(12);
+
+void BM_Espresso(benchmark::State& state) {
+  auto f = random_cover(static_cast<int>(state.range(0)), 30, 17);
+  for (auto _ : state) {
+    auto g = logic::espresso(f);
+    benchmark::DoNotOptimize(g.size());
+  }
+}
+BENCHMARK(BM_Espresso)->Arg(8)->Arg(10);
+
+void BM_SymbolicCover(benchmark::State& state) {
+  auto f = bench_data::load_benchmark("keyb");
+  for (auto _ : state) {
+    auto sc = fsm::build_symbolic_cover(f);
+    benchmark::DoNotOptimize(sc.on.size());
+  }
+}
+BENCHMARK(BM_SymbolicCover);
+
+void BM_ConstraintExtraction(benchmark::State& state) {
+  auto f = bench_data::load_benchmark("train11");
+  for (auto _ : state) {
+    auto r = constraints::extract_input_constraints(f);
+    benchmark::DoNotOptimize(r.constraints.size());
+  }
+}
+BENCHMARK(BM_ConstraintExtraction);
+
+void BM_Semiexact(benchmark::State& state) {
+  auto f = bench_data::load_benchmark("train11");
+  auto ics = constraints::extract_input_constraints(f).constraints;
+  for (auto _ : state) {
+    auto r = encoding::semiexact_code(ics, f.num_states(), 4);
+    benchmark::DoNotOptimize(r.success);
+  }
+}
+BENCHMARK(BM_Semiexact);
+
+void BM_IHybrid(benchmark::State& state) {
+  auto f = bench_data::load_benchmark("donfile");
+  auto ics = constraints::extract_input_constraints(f).constraints;
+  for (auto _ : state) {
+    auto r = encoding::ihybrid_code(ics, f.num_states(), {});
+    benchmark::DoNotOptimize(r.enc.nbits);
+  }
+}
+BENCHMARK(BM_IHybrid);
+
+void BM_SatisfactionCheck(benchmark::State& state) {
+  util::Rng rng(19);
+  auto enc = encoding::random_encoding(24, 5, rng);
+  std::vector<encoding::InputConstraint> ics;
+  for (int i = 0; i < 20; ++i) {
+    util::BitVec s(24);
+    for (int b = 0; b < 24; ++b) {
+      if (rng.chance(0.3)) s.set(b);
+    }
+    ics.push_back({s, 1});
+  }
+  for (auto _ : state) {
+    auto r = encoding::summarize_satisfaction(enc, ics);
+    benchmark::DoNotOptimize(r.satisfied);
+  }
+}
+BENCHMARK(BM_SatisfactionCheck);
+
+void BM_ProjectCode(benchmark::State& state) {
+  util::Rng rng(23);
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto enc = encoding::random_encoding(16, 4, rng);
+    std::vector<encoding::InputConstraint> sic;
+    util::BitVec s(16);
+    s.set(1);
+    s.set(5);
+    s.set(9);
+    std::vector<encoding::InputConstraint> ric = {{s, 1}};
+    state.ResumeTiming();
+    auto out = encoding::project_code(enc, sic, ric);
+    benchmark::DoNotOptimize(out.nbits);
+  }
+}
+BENCHMARK(BM_ProjectCode);
+
+void BM_EvaluateEncoding(benchmark::State& state) {
+  auto f = bench_data::load_benchmark("bbtas");
+  util::Rng rng(29);
+  auto enc = encoding::random_encoding(f.num_states(), 3, rng);
+  for (auto _ : state) {
+    auto ev = driver::evaluate_encoding(f, enc);
+    benchmark::DoNotOptimize(ev.metrics.cubes);
+  }
+}
+BENCHMARK(BM_EvaluateEncoding);
+
+}  // namespace
+
+BENCHMARK_MAIN();

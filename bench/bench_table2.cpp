@@ -1,0 +1,52 @@
+// Table II: comparisons of iexact, ihybrid, igreedy and the 1-hot encoding.
+// For each example: #bits, #cubes (after espresso) and area. iexact runs
+// under a work budget and reports '-' when it cannot complete, as in the
+// paper (scf, tbk).
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace nova::bench;
+  std::printf(
+      "Table II: iexact vs ihybrid vs igreedy vs 1-hot\n"
+      "%-10s | %5s %6s %7s | %5s %6s %7s | %5s %6s %7s | %6s\n",
+      "EXAMPLE", "bits", "cubes", "area", "bits", "cubes", "area", "bits",
+      "cubes", "area", "1-hot");
+  long tot_exact = 0, tot_hyb = 0, tot_greedy = 0;
+  int exact_done = 0;
+  for (const auto& name : bench_names()) {
+    BenchContext ctx(name);
+    // iexact is hopeless on the biggest machines; skip early (as the paper
+    // reports failures for them) but still try everything moderate.
+    AlgoResult ex;
+    if (ctx.fsm().num_states() <= 48 &&
+        ctx.input_constraints().size() <= 40) {
+      ex = ctx.run_iexact(fast_mode() ? 100000 : 1500000, 4);
+    }
+    AlgoResult hy = ctx.run_ihybrid(fast_mode() ? 1 : 2);
+    AlgoResult gr = ctx.run_igreedy(fast_mode() ? 1 : 2);
+    int onehot = ctx.one_hot_cubes();
+    if (ex.ok) {
+      std::printf("%-10s | %5d %6d %7ld |", name.c_str(), ex.nbits, ex.cubes,
+                  ex.area);
+      tot_exact += ex.area;
+      ++exact_done;
+    } else {
+      std::printf("%-10s | %5s %6s %7s |", name.c_str(), "-", "-", "-");
+    }
+    std::printf(" %5d %6d %7ld | %5d %6d %7ld | %6d\n", hy.nbits, hy.cubes,
+                hy.area, gr.nbits, gr.cubes, gr.area, onehot);
+    std::fflush(stdout);
+    tot_hyb += hy.area;
+    tot_greedy += gr.area;
+  }
+  std::printf(
+      "\niexact completed on %d examples (area total %ld on those)\n"
+      "ihybrid total area %ld, igreedy total area %ld\n",
+      exact_done, tot_exact, tot_hyb, tot_greedy);
+  std::printf(
+      "Paper's observation to check: iexact satisfies all constraints but "
+      "its longer codes yield LARGER areas than ihybrid.\n");
+  return 0;
+}

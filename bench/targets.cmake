@@ -1,0 +1,28 @@
+# Bench targets are defined from the root so that build/bench/ contains only
+# the executables (the harness iterates `for b in build/bench/*`).
+add_library(nova_bench_common STATIC ${CMAKE_SOURCE_DIR}/bench/bench_common.cpp)
+target_include_directories(nova_bench_common PUBLIC ${CMAKE_SOURCE_DIR}/bench ${CMAKE_SOURCE_DIR}/src)
+target_link_libraries(nova_bench_common PUBLIC nova_driver nova_bench_data nova_mlopt)
+
+function(nova_bench name)
+  add_executable(${name} ${CMAKE_SOURCE_DIR}/bench/${name}.cpp)
+  target_link_libraries(${name} PRIVATE nova_bench_common)
+  set_target_properties(${name} PROPERTIES RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)
+endfunction()
+
+nova_bench(bench_table1)
+nova_bench(bench_table2)
+nova_bench(bench_table3)
+nova_bench(bench_table4)
+nova_bench(bench_table5)
+nova_bench(bench_table6)
+nova_bench(bench_table7)
+nova_bench(bench_fig8)
+nova_bench(bench_fig10)
+
+add_executable(bench_micro ${CMAKE_SOURCE_DIR}/bench/bench_micro.cpp)
+target_link_libraries(bench_micro PRIVATE nova_bench_common benchmark::benchmark)
+set_target_properties(bench_micro PROPERTIES RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)
+nova_bench(bench_ablation)
+nova_bench(bench_asterisk)
+nova_bench(bench_exactmin)

@@ -1,0 +1,81 @@
+// The complete PLA-based FSM synthesis flow on one machine:
+//   1. parse KISS2                      (fsm::parse_kiss_*)
+//   2. validate + state minimization    (fsm::minimize_states)
+//   3. constraint extraction            (constraints::*)
+//   4. state assignment                 (encoding::iohybrid_code via driver)
+//   5. encoded PLA + logic minimization (driver::evaluate_encoding)
+//   6. functional verification          (driver::verify_encoding)
+//   7. multilevel literal estimate      (mlopt::optimize_network)
+//
+//   ./full_flow [machine.kiss | builtin-name]   (default: train11)
+#include <cstdio>
+#include <fstream>
+
+#include "bench_data/benchmarks.hpp"
+#include "constraints/input_constraints.hpp"
+#include "constraints/symbolic_min.hpp"
+#include "fsm/kiss_io.hpp"
+#include "fsm/minimize.hpp"
+#include "mlopt/bridge.hpp"
+#include "nova/nova.hpp"
+#include "nova/verify.hpp"
+
+int main(int argc, char** argv) {
+  using namespace nova;
+  std::string name = argc > 1 ? argv[1] : "train11";
+  fsm::Fsm machine;
+  std::ifstream probe(name);
+  machine = probe.good() ? fsm::parse_kiss_file(name)
+                         : bench_data::load_benchmark(name);
+
+  std::printf("[1] %s: %d in / %d out / %d states / %d rows\n",
+              machine.name().c_str(), machine.num_inputs(),
+              machine.num_outputs(), machine.num_states(),
+              machine.num_transitions());
+
+  auto issues = machine.validate();
+  std::printf("[2] validation: %zu issue(s)\n", issues.size());
+  auto red = fsm::minimize_states(machine);
+  if (red.applied && red.classes < machine.num_states()) {
+    std::printf("    state minimization: %d -> %d states\n",
+                machine.num_states(), red.classes);
+    machine = red.fsm;
+  } else {
+    std::printf("    state minimization: already minimal%s\n",
+                red.applied ? "" : " (skipped: wide inputs)");
+  }
+
+  auto icr = constraints::extract_input_constraints(machine);
+  auto sm = constraints::symbolic_minimize(machine);
+  std::printf(
+      "[3] constraints: %zu input (from MV minimization), %zu input + %zu "
+      "covering clusters (from symbolic minimization)\n",
+      icr.constraints.size(), sm.ic.size(), sm.clusters.size());
+
+  driver::NovaOptions opts;
+  opts.algorithm = driver::Algorithm::kIoHybrid;
+  auto r = driver::encode_fsm(machine, opts);
+  std::printf("[4] iohybrid codes (%d bits):\n", r.metrics.nbits);
+  for (int s = 0; s < machine.num_states(); ++s) {
+    std::printf("      %-10s %s\n", machine.state_name(s).c_str(),
+                r.enc.code_string(s).c_str());
+  }
+
+  auto ev = driver::evaluate_encoding(machine, r.enc);
+  std::printf("[5] minimized PLA: %d cubes, area %ld, %ld SOP literals\n",
+              ev.metrics.cubes, ev.metrics.area, ev.metrics.sop_literals);
+
+  auto vr = driver::verify_encoding(machine, r.enc, ev);
+  std::printf("[6] verification: %s after %d steps\n",
+              vr.equivalent ? "EQUIVALENT" : vr.detail.c_str(),
+              vr.steps_run);
+
+  int nvars = machine.num_inputs() + r.metrics.nbits;
+  auto sops = mlopt::sops_from_cover(
+      ev.minimized, nvars, r.metrics.nbits + machine.num_outputs());
+  auto net = mlopt::optimize_network(std::move(sops), nvars);
+  std::printf("[7] multilevel estimate: %ld factored literals "
+              "(%ld flat, %d shared divisors)\n",
+              net.literals, net.sop_lits, net.divisors);
+  return vr.equivalent ? 0 : 1;
+}

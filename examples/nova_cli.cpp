@@ -1,0 +1,115 @@
+// nova_cli: command-line front end mirroring the original NOVA tool.
+//
+//   nova_cli <machine.kiss | builtin-name> [options]
+//     -e <alg>    ihybrid | igreedy | iohybrid | iovariant | iexact |
+//                 kiss | mustang-p | mustang-n | random   (default ihybrid)
+//     -n <bits>   code length (default: minimum)
+//     -p          print the encoded, minimized PLA (espresso .pla format)
+//     -v          verbose: constraints and satisfaction report
+//     -d          print the state graph as Graphviz DOT
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "bench_data/benchmarks.hpp"
+#include "encoding/analysis.hpp"
+#include "fsm/dot_export.hpp"
+#include "constraints/input_constraints.hpp"
+#include "fsm/kiss_io.hpp"
+#include "logic/pla_io.hpp"
+#include "nova/nova.hpp"
+
+namespace {
+
+nova::fsm::Fsm load(const std::string& arg) {
+  std::ifstream probe(arg);
+  if (probe.good()) return nova::fsm::parse_kiss_file(arg);
+  return nova::bench_data::load_benchmark(arg);
+}
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: nova_cli <machine.kiss|builtin> [-e alg] [-n bits] "
+               "[-p] [-v]\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace nova;
+  if (argc < 2) return usage();
+  driver::NovaOptions opts;
+  bool print_pla = false, verbose = false, print_dot = false;
+  for (int i = 2; i < argc; ++i) {
+    std::string a = argv[i];
+    if (a == "-e" && i + 1 < argc) {
+      std::string e = argv[++i];
+      if (e == "ihybrid") opts.algorithm = driver::Algorithm::kIHybrid;
+      else if (e == "igreedy") opts.algorithm = driver::Algorithm::kIGreedy;
+      else if (e == "iohybrid") opts.algorithm = driver::Algorithm::kIoHybrid;
+      else if (e == "iovariant") opts.algorithm = driver::Algorithm::kIoVariant;
+      else if (e == "iexact") opts.algorithm = driver::Algorithm::kIExact;
+      else if (e == "kiss") opts.algorithm = driver::Algorithm::kKiss;
+      else if (e == "mustang-p") opts.algorithm = driver::Algorithm::kMustangFanout;
+      else if (e == "mustang-n") opts.algorithm = driver::Algorithm::kMustangFanin;
+      else if (e == "random") opts.algorithm = driver::Algorithm::kRandom;
+      else return usage();
+    } else if (a == "-n" && i + 1 < argc) {
+      opts.nbits = std::atoi(argv[++i]);
+    } else if (a == "-p") {
+      print_pla = true;
+    } else if (a == "-v") {
+      verbose = true;
+    } else if (a == "-d") {
+      print_dot = true;
+    } else {
+      return usage();
+    }
+  }
+
+  fsm::Fsm f;
+  try {
+    f = load(argv[1]);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  if (print_dot) {
+    std::printf("%s", fsm::to_dot(f).c_str());
+    return 0;
+  }
+
+  driver::NovaResult r = driver::encode_fsm(f, opts);
+  if (!r.success) {
+    std::fprintf(stderr, "encoding failed (iexact budget exhausted?)\n");
+    return 1;
+  }
+  std::printf("# %s: %d states -> %d bits, %d cubes, area %ld\n",
+              f.name().empty() ? argv[1] : f.name().c_str(), f.num_states(),
+              r.metrics.nbits, r.metrics.cubes, r.metrics.area);
+  std::printf("# constraints satisfied %d/%d (weight %d/%d)\n",
+              r.constraints_satisfied, r.constraints_total,
+              r.weight_satisfied, r.weight_satisfied + r.weight_unsatisfied);
+  for (int s = 0; s < f.num_states(); ++s) {
+    std::printf(".code %s %s\n", f.state_name(s).c_str(),
+                r.enc.code_string(s).c_str());
+  }
+  if (verbose) {
+    auto icr = constraints::extract_input_constraints(f);
+    auto rep = encoding::analyze_encoding(r.enc, icr.constraints);
+    std::printf("%s",
+                encoding::format_report(rep, r.enc, f.state_names()).c_str());
+  }
+  if (print_pla) {
+    auto ev = driver::evaluate_encoding(f, r.enc);
+    logic::Pla pla;
+    pla.num_inputs = f.num_inputs() + r.metrics.nbits;
+    pla.num_outputs = r.metrics.nbits + f.num_outputs();
+    pla.on = ev.minimized;
+    pla.dc = logic::Cover(ev.spec);
+    std::printf("%s", logic::write_pla_string(pla).c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,197 @@
+#include "bench_data/benchmarks.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "bench_data/kiss_texts.hpp"
+#include "fsm/kiss_io.hpp"
+#include "util/rng.hpp"
+
+namespace nova::bench_data {
+
+using fsm::Fsm;
+
+namespace {
+
+/// Table-I statistics (MCNC'89 dimensions; `terms` of the very large tbk is
+/// scaled down -- see DESIGN.md). synthetic=false rows are embedded texts.
+std::vector<BenchmarkInfo> make_table1() {
+  return {
+      // name       in  out states terms synthetic
+      {"dk15", 3, 5, 4, 32, true},
+      {"bbtas", 2, 2, 6, 24, false},
+      {"beecount", 3, 4, 7, 28, false},
+      {"dk14", 3, 5, 7, 56, true},
+      {"dk27", 1, 2, 7, 14, false},
+      {"dk17", 2, 3, 8, 32, true},
+      {"ex6", 5, 8, 8, 34, true},
+      {"scud", 7, 6, 8, 60, true},
+      {"shiftreg", 1, 1, 8, 16, false},
+      {"ex5", 2, 2, 9, 32, true},
+      {"bbara", 4, 2, 10, 60, true},
+      {"ex3", 2, 2, 10, 36, true},
+      {"iofsm", 4, 4, 10, 30, true},
+      {"physrec", 12, 7, 11, 40, true},
+      {"train11", 2, 1, 11, 23, false},
+      {"dk512", 1, 3, 15, 30, true},
+      {"mark1", 5, 16, 15, 22, true},
+      {"bbsse", 7, 7, 16, 56, true},
+      {"cse", 7, 7, 16, 91, true},
+      {"ex2", 2, 2, 19, 72, true},
+      {"keyb", 7, 2, 19, 170, true},
+      {"ex1", 9, 19, 20, 138, true},
+      {"s1", 8, 6, 20, 107, true},
+      {"donfile", 2, 1, 24, 96, true},
+      {"dk16", 2, 3, 27, 108, true},
+      {"styr", 9, 10, 30, 166, true},
+      {"sand", 11, 9, 32, 184, true},
+      {"tbk", 6, 3, 32, 192, true},
+      {"planet", 7, 19, 48, 115, true},
+      {"scf", 27, 56, 121, 166, true},
+  };
+}
+
+std::vector<BenchmarkInfo> make_table5_extras() {
+  return {
+      {"lion", 2, 1, 4, 11, false},
+      {"lion9", 2, 1, 9, 32, false},
+      {"modulo12", 1, 1, 12, 24, false},
+      {"tav", 4, 4, 4, 16, false},
+      {"dol", 2, 3, 5, 20, true},
+  };
+}
+
+}  // namespace
+
+const std::vector<BenchmarkInfo>& table1_benchmarks() {
+  static const std::vector<BenchmarkInfo> t = make_table1();
+  return t;
+}
+
+const std::vector<BenchmarkInfo>& table5_extras() {
+  static const std::vector<BenchmarkInfo> t = make_table5_extras();
+  return t;
+}
+
+Fsm generate_structured_fsm(const std::string& name, int inputs, int outputs,
+                            int states, int terms, uint64_t seed) {
+  util::Rng rng(seed);
+  Fsm f(inputs, outputs);
+  for (int s = 0; s < states; ++s) f.intern_state("s" + std::to_string(s));
+
+  // Disjoint global input patterns: enumerate the first `active` inputs
+  // fully, leave the rest dashed. `active` is chosen so that
+  // states * 2^active comes closest to the requested number of terms.
+  int active = 1;
+  while (active < std::min(inputs, 4) &&
+         states * (1 << (active + 1)) <= terms + terms / 3)
+    ++active;
+  const int npat = 1 << active;
+  std::vector<std::string> patterns(npat, std::string(inputs, '-'));
+  for (int p = 0; p < npat; ++p) {
+    for (int b = 0; b < active; ++b)
+      patterns[p][b] = ((p >> b) & 1) ? '1' : '0';
+  }
+
+  // Group structure: states are partitioned into modes; several patterns
+  // act uniformly on whole groups (this is what MV minimization compresses
+  // into input constraints).
+  const int ngroups = std::max(2, states / 5);
+  std::vector<int> group(states);
+  std::vector<std::vector<int>> members(ngroups);
+  for (int s = 0; s < states; ++s) {
+    group[s] = s % ngroups;
+    members[group[s]].push_back(s);
+  }
+  // A representative target state per (group, pattern).
+  auto rep = [&](int g, int p) {
+    const auto& m = members[(g + p) % ngroups];
+    return m[p % m.size()];
+  };
+
+  // Output pattern generator: a function of (group, pattern) with a little
+  // per-state salt and occasional don't-cares.
+  auto make_output = [&](int g, int p, int s) {
+    std::string out(outputs, '0');
+    for (int j = 0; j < outputs; ++j) {
+      uint64_t h = (uint64_t)g * 0x9e3779b9u + (uint64_t)p * 0x85ebca6bu +
+                   (uint64_t)j * 0xc2b2ae35u + (uint64_t)(s % 3) * 0x27d4eb2fu;
+      h ^= h >> 13;
+      int r = static_cast<int>(h % 8);
+      out[j] = r < 3 ? '1' : (r == 7 ? '-' : '0');
+    }
+    return out;
+  };
+
+  // Row budget: drop exactly grid - terms rows (chosen by shuffle) when the
+  // full grid exceeds `terms`; dropped rows become don't-care regions.
+  const int grid = states * npat;
+  std::vector<char> keep(grid, 1);
+  if (grid > terms) {
+    std::vector<int> idx(grid);
+    for (int i = 0; i < grid; ++i) idx[i] = i;
+    rng.shuffle(idx);
+    for (int i = 0; i < grid - terms; ++i) keep[idx[i]] = 0;
+  }
+
+  for (int s = 0; s < states; ++s) {
+    for (int p = 0; p < npat; ++p) {
+      if (!keep[s * npat + p]) continue;  // unspecified transition
+      int mode = p % 3;
+      int next;
+      std::string out;
+      if (mode == 0) {
+        // Group goto: every state of a group jumps to the group's
+        // representative with a common output.
+        next = rep(group[s], p);
+        out = make_output(group[s], p, 0);  // no per-state salt: uniform
+      } else if (mode == 1) {
+        // Chain within the group: successor in the member list.
+        const auto& m = members[group[s]];
+        int pos = static_cast<int>(
+            std::find(m.begin(), m.end(), s) - m.begin());
+        next = m[(pos + 1) % m.size()];
+        out = make_output(group[s], p, s);
+      } else {
+        // Mostly self-loop with per-state outputs; occasional cross jump.
+        next = (rng.next() % 4 == 0) ? rep((group[s] + 1) % ngroups, p) : s;
+        out = make_output(group[s], p, s);
+      }
+      f.add_transition(patterns[p], s, next, out);
+    }
+  }
+  f.set_name(name);
+  f.set_reset_state(0);
+  return f;
+}
+
+Fsm load_benchmark(const std::string& name) {
+  static const std::pair<const char*, const char*> kTexts[] = {
+      {"shiftreg", kShiftregKiss}, {"modulo12", kModulo12Kiss},
+      {"lion", kLionKiss},         {"lion9", kLion9Kiss},
+      {"train11", kTrain11Kiss},   {"bbtas", kBbtasKiss},
+      {"dk27", kDk27Kiss},         {"tav", kTavKiss},
+      {"beecount", kBeecountKiss},
+  };
+  for (const auto& [n, text] : kTexts) {
+    if (name == n) return fsm::parse_kiss_string(text, name);
+  }
+  auto find_info = [&](const std::vector<BenchmarkInfo>& list)
+      -> const BenchmarkInfo* {
+    for (const auto& b : list) {
+      if (b.name == name) return &b;
+    }
+    return nullptr;
+  };
+  const BenchmarkInfo* info = find_info(table1_benchmarks());
+  if (!info) info = find_info(table5_extras());
+  if (!info) throw std::runtime_error("unknown benchmark: " + name);
+  // Seed derived from the name for stable, distinct machines.
+  uint64_t seed = 0xcbf29ce484222325ull;
+  for (char c : name) seed = (seed ^ static_cast<unsigned char>(c)) *
+                             0x100000001b3ull;
+  return generate_structured_fsm(info->name, info->inputs, info->outputs,
+                                 info->states, info->terms, seed);
+}
+
+}  // namespace nova::bench_data

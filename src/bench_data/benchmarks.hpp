@@ -1,0 +1,47 @@
+// The benchmark workload of the paper's Table I: 30 FSMs plus the extra
+// machines of Table V.
+//
+// Machines whose KISS2 text we can state exactly are embedded verbatim
+// (shift registers, counters, the lion/train family, and other small
+// classics). The remaining MCNC'89 / industrial examples are reproduced by
+// a deterministic *structured* generator that matches each example's
+// Table-I statistics (#inputs / #outputs / #states / #terms): states are
+// grouped into modes, and global input patterns map whole groups to common
+// next states -- exactly the structure multiple-valued minimization turns
+// into input constraints. See DESIGN.md ("Substitutions").
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "fsm/fsm.hpp"
+
+namespace nova::bench_data {
+
+struct BenchmarkInfo {
+  std::string name;
+  int inputs = 0;
+  int outputs = 0;
+  int states = 0;
+  int terms = 0;       ///< transition rows
+  bool synthetic = false;  ///< true = structured stand-in, false = exact text
+};
+
+/// The 30 rows of Table I, ordered by increasing number of states (the
+/// order used by the paper's Figures VIII-X).
+const std::vector<BenchmarkInfo>& table1_benchmarks();
+
+/// The extra machines of Table V (lion, lion9, modulo12, tav, dol).
+const std::vector<BenchmarkInfo>& table5_extras();
+
+/// Loads a benchmark by name (from either list). Throws on unknown names.
+fsm::Fsm load_benchmark(const std::string& name);
+
+/// Structured FSM generator (exposed for tests): `seed` controls all
+/// choices; the result has exactly `states` states, <= `terms` rows, and is
+/// deterministic and valid (no conflicting transitions).
+fsm::Fsm generate_structured_fsm(const std::string& name, int inputs,
+                                 int outputs, int states, int terms,
+                                 uint64_t seed);
+
+}  // namespace nova::bench_data

@@ -1,0 +1,233 @@
+// Embedded KISS2 sources for the benchmark machines whose tables we can
+// state exactly: classic small machines (shift register, modulo counter,
+// the lion/train family of Kohavi-style detectors, and small controllers).
+#include "bench_data/kiss_texts.hpp"
+
+namespace nova::bench_data {
+
+// 3-bit shift register: state = register contents b2b1b0, output = b0,
+// next state shifts the input in from the left.
+const char* kShiftregKiss =
+    ".i 1\n.o 1\n.s 8\n.p 16\n.r st0\n"
+    "0 st0 st0 0\n"
+    "1 st0 st4 0\n"
+    "0 st1 st0 1\n"
+    "1 st1 st4 1\n"
+    "0 st2 st1 0\n"
+    "1 st2 st5 0\n"
+    "0 st3 st1 1\n"
+    "1 st3 st5 1\n"
+    "0 st4 st2 0\n"
+    "1 st4 st6 0\n"
+    "0 st5 st2 1\n"
+    "1 st5 st6 1\n"
+    "0 st6 st3 0\n"
+    "1 st6 st7 0\n"
+    "0 st7 st3 1\n"
+    "1 st7 st7 1\n"
+    ".e\n";
+
+// Modulo-12 counter: count on input 1, hold on 0; output 1 at the wrap.
+const char* kModulo12Kiss =
+    ".i 1\n.o 1\n.s 12\n.p 24\n.r s0\n"
+    "0 s0 s0 0\n1 s0 s1 0\n"
+    "0 s1 s1 0\n1 s1 s2 0\n"
+    "0 s2 s2 0\n1 s2 s3 0\n"
+    "0 s3 s3 0\n1 s3 s4 0\n"
+    "0 s4 s4 0\n1 s4 s5 0\n"
+    "0 s5 s5 0\n1 s5 s6 0\n"
+    "0 s6 s6 0\n1 s6 s7 0\n"
+    "0 s7 s7 0\n1 s7 s8 0\n"
+    "0 s8 s8 0\n1 s8 s9 0\n"
+    "0 s9 s9 0\n1 s9 s10 0\n"
+    "0 s10 s10 0\n1 s10 s11 0\n"
+    "0 s11 s11 0\n1 s11 s0 1\n"
+    ".e\n";
+
+// The two-sensor "lion" cave detector (Kohavi): 4 states.
+const char* kLionKiss =
+    ".i 2\n.o 1\n.s 4\n.p 11\n.r st0\n"
+    "-0 st0 st0 0\n"
+    "11 st0 st0 0\n"
+    "01 st0 st1 0\n"
+    "-1 st1 st1 1\n"
+    "10 st1 st2 1\n"
+    "00 st2 st2 1\n"
+    "-1 st2 st1 1\n"
+    "10 st2 st3 1\n"
+    "-0 st3 st3 1\n"
+    "01 st3 st3 1\n"
+    "11 st3 st3 1\n"
+    ".e\n";
+
+// 9-state unfolded variant of lion: the walk advances on a single-sensor
+// change (01 or 10) and holds on 00/11; no state re-use along the walk.
+const char* kLion9Kiss =
+    ".i 2\n.o 1\n.s 9\n.p 32\n.r st0\n"
+    "-0 st0 st0 0\n"
+    "11 st0 st0 0\n"
+    "01 st0 st1 1\n"
+    "00 st1 st1 1\n"
+    "11 st1 st1 1\n"
+    "01 st1 st2 1\n"
+    "10 st1 st2 1\n"
+    "00 st2 st2 0\n"
+    "11 st2 st2 0\n"
+    "01 st2 st3 0\n"
+    "10 st2 st3 0\n"
+    "00 st3 st3 1\n"
+    "11 st3 st3 1\n"
+    "01 st3 st4 1\n"
+    "10 st3 st4 1\n"
+    "00 st4 st4 0\n"
+    "11 st4 st4 0\n"
+    "01 st4 st5 0\n"
+    "10 st4 st5 0\n"
+    "00 st5 st5 1\n"
+    "11 st5 st5 1\n"
+    "01 st5 st6 1\n"
+    "10 st5 st6 1\n"
+    "00 st6 st6 0\n"
+    "11 st6 st6 0\n"
+    "01 st6 st7 0\n"
+    "10 st6 st7 0\n"
+    "00 st7 st7 1\n"
+    "11 st7 st7 1\n"
+    "01 st7 st8 1\n"
+    "10 st7 st8 1\n"
+    "-- st8 st8 1\n"
+    ".e\n";
+
+// Train detector with 11 states: two track sensors, output = train present.
+const char* kTrain11Kiss =
+    ".i 2\n.o 1\n.s 11\n.p 23\n.r st0\n"
+    "00 st0 st0 0\n"
+    "10 st0 st1 0\n"
+    "01 st0 st2 0\n"
+    "11 st0 st3 0\n"
+    "-- st1 st4 1\n"
+    "-- st2 st5 1\n"
+    "-- st3 st6 1\n"
+    "00 st4 st4 1\n"
+    "1- st4 st7 1\n"
+    "-1 st4 st7 1\n"
+    "00 st5 st5 1\n"
+    "1- st5 st8 1\n"
+    "-1 st5 st8 1\n"
+    "00 st6 st6 1\n"
+    "1- st6 st9 1\n"
+    "-1 st6 st9 1\n"
+    "-- st7 st10 1\n"
+    "-- st8 st10 1\n"
+    "-- st9 st10 1\n"
+    "00 st10 st0 0\n"
+    "10 st10 st10 1\n"
+    "01 st10 st10 1\n"
+    "11 st10 st10 1\n"
+    ".e\n";
+
+// Small bus arbiter in the style of bbtas: 6 states, 2 request lines,
+// 2 grant outputs; fully specified.
+const char* kBbtasKiss =
+    ".i 2\n.o 2\n.s 6\n.p 24\n.r st0\n"
+    "00 st0 st0 00\n"
+    "01 st0 st1 00\n"
+    "10 st0 st2 00\n"
+    "11 st0 st1 00\n"
+    "00 st1 st0 00\n"
+    "01 st1 st3 00\n"
+    "10 st1 st3 00\n"
+    "11 st1 st3 00\n"
+    "00 st2 st0 00\n"
+    "01 st2 st4 00\n"
+    "10 st2 st4 00\n"
+    "11 st2 st4 00\n"
+    "00 st3 st5 10\n"
+    "01 st3 st5 10\n"
+    "10 st3 st5 10\n"
+    "11 st3 st5 10\n"
+    "00 st4 st5 01\n"
+    "01 st4 st5 01\n"
+    "10 st4 st5 01\n"
+    "11 st4 st5 01\n"
+    "00 st5 st0 11\n"
+    "01 st5 st0 11\n"
+    "10 st5 st0 11\n"
+    "11 st5 st0 11\n"
+    ".e\n";
+
+// Seven-state sequencer in the style of dk27 (1 input, 2 outputs, fully
+// specified: 14 rows).
+const char* kDk27Kiss =
+    ".i 1\n.o 2\n.s 7\n.p 14\n.r s0\n"
+    "0 s0 s1 00\n"
+    "1 s0 s2 00\n"
+    "0 s1 s3 00\n"
+    "1 s1 s4 00\n"
+    "0 s2 s4 00\n"
+    "1 s2 s5 00\n"
+    "0 s3 s6 10\n"
+    "1 s3 s6 10\n"
+    "0 s4 s6 01\n"
+    "1 s4 s0 01\n"
+    "0 s5 s0 01\n"
+    "1 s5 s6 11\n"
+    "0 s6 s0 10\n"
+    "1 s6 s0 11\n"
+    ".e\n";
+
+// Four-state, four-input traffic-actuated controller in the style of tav.
+const char* kTavKiss =
+    ".i 4\n.o 4\n.s 4\n.p 16\n.r st0\n"
+    "1--- st0 st1 1000\n"
+    "01-- st0 st2 1000\n"
+    "001- st0 st3 1000\n"
+    "000- st0 st0 1000\n"
+    "1--- st1 st1 0100\n"
+    "01-- st1 st2 0100\n"
+    "001- st1 st3 0100\n"
+    "000- st1 st0 0100\n"
+    "1--- st2 st1 0010\n"
+    "01-- st2 st2 0010\n"
+    "001- st2 st3 0010\n"
+    "000- st2 st0 0010\n"
+    "1--- st3 st1 0001\n"
+    "01-- st3 st2 0001\n"
+    "001- st3 st3 0001\n"
+    "000- st3 st0 0001\n"
+    ".e\n";
+
+// Bee counter: tracks a bee through a 3-sensor tunnel, counting direction.
+const char* kBeecountKiss =
+    ".i 3\n.o 4\n.s 7\n.p 28\n.r st0\n"
+    "000 st0 st0 0000\n"
+    "100 st0 st1 0000\n"
+    "001 st0 st4 0000\n"
+    "01- st0 st0 0000\n"
+    "110 st1 st2 0000\n"
+    "100 st1 st1 0000\n"
+    "000 st1 st0 0000\n"
+    "0-1 st1 st0 0000\n"
+    "011 st2 st3 0000\n"
+    "110 st2 st2 0000\n"
+    "10- st2 st1 0000\n"
+    "000 st2 st0 0000\n"
+    "001 st3 st0 1000\n"
+    "011 st3 st3 0000\n"
+    "11- st3 st2 0000\n"
+    "000 st3 st0 0100\n"
+    "011 st4 st5 0000\n"
+    "001 st4 st4 0000\n"
+    "000 st4 st0 0000\n"
+    "1-0 st4 st0 0000\n"
+    "110 st5 st6 0000\n"
+    "011 st5 st5 0000\n"
+    "001 st5 st4 0000\n"
+    "000 st5 st0 0000\n"
+    "100 st6 st0 0010\n"
+    "110 st6 st6 0000\n"
+    "0-1 st6 st5 0000\n"
+    "000 st6 st0 0001\n"
+    ".e\n";
+
+}  // namespace nova::bench_data

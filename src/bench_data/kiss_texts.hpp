@@ -1,0 +1,16 @@
+// Embedded KISS2 texts (see kiss_texts.cpp for provenance notes).
+#pragma once
+
+namespace nova::bench_data {
+
+extern const char* kShiftregKiss;
+extern const char* kModulo12Kiss;
+extern const char* kLionKiss;
+extern const char* kLion9Kiss;
+extern const char* kTrain11Kiss;
+extern const char* kBbtasKiss;
+extern const char* kDk27Kiss;
+extern const char* kTavKiss;
+extern const char* kBeecountKiss;
+
+}  // namespace nova::bench_data

@@ -1,0 +1,37 @@
+#include "constraints/constraints.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace nova::constraints {
+
+InputConstraint make_constraint(const std::string& bits, int weight) {
+  InputConstraint ic;
+  ic.states = util::BitVec::from_string(bits);
+  ic.weight = weight;
+  return ic;
+}
+
+std::vector<InputConstraint> normalize_constraints(
+    std::vector<InputConstraint> ics, int num_states) {
+  std::map<util::BitVec, int> weights;
+  for (auto& ic : ics) {
+    int c = ic.cardinality();
+    if (c < 2 || c >= num_states) continue;
+    weights[ic.states] += ic.weight;
+  }
+  std::vector<InputConstraint> out;
+  out.reserve(weights.size());
+  for (auto& [set, w] : weights) out.push_back({set, w});
+  // Stable order: descending weight, then descending cardinality, then set.
+  std::sort(out.begin(), out.end(),
+            [](const InputConstraint& a, const InputConstraint& b) {
+              if (a.weight != b.weight) return a.weight > b.weight;
+              int ca = a.cardinality(), cb = b.cardinality();
+              if (ca != cb) return ca > cb;
+              return a.states < b.states;
+            });
+  return out;
+}
+
+}  // namespace nova::constraints

@@ -1,0 +1,47 @@
+// Constraint types produced by multiple-valued / symbolic minimization and
+// consumed by the encoding algorithms.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/bitvec.hpp"
+
+namespace nova::constraints {
+
+/// A face-embedding (input) constraint: the set of states that must share a
+/// face of the encoding cube containing no other state's code (paper 2.2).
+struct InputConstraint {
+  util::BitVec states;  ///< characteristic vector over the FSM's states
+  int weight = 1;       ///< # of product terms saved by satisfying it
+
+  int cardinality() const { return states.count(); }
+};
+
+/// An output (covering) constraint: code(covering) must bit-wise cover
+/// code(covered) and differ from it (paper section VI).
+struct OutputConstraint {
+  int covering = -1;
+  int covered = -1;
+  bool operator==(const OutputConstraint& o) const {
+    return covering == o.covering && covered == o.covered;
+  }
+};
+
+/// A cluster OC_i: the covering edges into next state i, with the gain w_i
+/// obtained only if the whole cluster (and its companion IC_i) is satisfied.
+struct OutputCluster {
+  int next_state = -1;
+  std::vector<OutputConstraint> edges;
+  int weight = 0;
+};
+
+/// Parses "1110000"-style characteristic vectors (paper examples).
+InputConstraint make_constraint(const std::string& bits, int weight = 1);
+
+/// Deduplicates constraints by state set, summing weights; drops trivial
+/// sets (cardinality < 2 or = num_states).
+std::vector<InputConstraint> normalize_constraints(
+    std::vector<InputConstraint> ics, int num_states);
+
+}  // namespace nova::constraints

@@ -1,0 +1,60 @@
+#include "constraints/disjoint_min.hpp"
+
+#include <map>
+#include <tuple>
+
+namespace nova::constraints {
+
+using logic::Cover;
+using logic::Cube;
+using logic::CubeSpec;
+
+DisjointMinResult disjoint_minimize(const fsm::Fsm& fsm,
+                                    const logic::EspressoOptions& opts) {
+  DisjointMinResult res;
+  res.rows_before = fsm.num_transitions();
+  fsm::Fsm out(fsm.num_inputs(), fsm.num_outputs());
+  out.set_name(fsm.name());
+  // Preserve state numbering.
+  for (int s = 0; s < fsm.num_states(); ++s)
+    out.intern_state(fsm.state_name(s));
+
+  // Group rows by identical behaviour.
+  using Key = std::tuple<int, int, std::string>;
+  std::map<Key, std::vector<const fsm::Transition*>> groups;
+  for (const auto& t : fsm.transitions()) {
+    groups[{t.present, t.next, t.output}].push_back(&t);
+  }
+
+  CubeSpec spec = CubeSpec::binary(fsm.num_inputs());
+  for (auto& [key, rows] : groups) {
+    auto [present, next, output] = key;
+    if (rows.size() == 1 || fsm.num_inputs() == 0) {
+      for (const auto* t : rows)
+        out.add_transition(t->input, present, next, output);
+      continue;
+    }
+    // Minimize the union of the input patterns as a 1-output function.
+    Cover on(spec);
+    for (const auto* t : rows) {
+      Cube c = Cube::full(spec);
+      c.set_binary_from_pla(spec, 0, t->input);
+      on.add(c);
+    }
+    Cover g = logic::espresso(on, opts);
+    for (const auto& c : g) {
+      std::string pat(fsm.num_inputs(), '-');
+      for (int v = 0; v < fsm.num_inputs(); ++v) {
+        bool v0 = c.get(spec.bit(v, 0)), v1 = c.get(spec.bit(v, 1));
+        pat[v] = v0 && v1 ? '-' : (v1 ? '1' : '0');
+      }
+      out.add_transition(pat, present, next, output);
+    }
+  }
+  out.set_reset_state(fsm.reset_state());
+  res.rows_after = out.num_transitions();
+  res.fsm = std::move(out);
+  return res;
+}
+
+}  // namespace nova::constraints

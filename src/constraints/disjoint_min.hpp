@@ -1,0 +1,23 @@
+// Disjoint minimization of a state transition table (the preprocessing the
+// paper's symbolic minimization assumes, section 6.1): rows with the same
+// (present state, next state, output pattern) are grouped and their input
+// patterns minimized together as a single-output function, so each
+// behavioural class is represented by as few rows as possible without
+// introducing any sharing across classes.
+#pragma once
+
+#include "fsm/fsm.hpp"
+#include "logic/espresso.hpp"
+
+namespace nova::constraints {
+
+struct DisjointMinResult {
+  fsm::Fsm fsm;
+  int rows_before = 0;
+  int rows_after = 0;
+};
+
+DisjointMinResult disjoint_minimize(const fsm::Fsm& fsm,
+                                    const logic::EspressoOptions& opts = {});
+
+}  // namespace nova::constraints

@@ -1,0 +1,35 @@
+#include "constraints/input_constraints.hpp"
+
+#include "fsm/symbolic.hpp"
+
+namespace nova::constraints {
+
+using logic::Cover;
+
+InputConstraintResult extract_input_constraints(
+    const fsm::Fsm& fsm, const logic::EspressoOptions& opts) {
+  InputConstraintResult res;
+  fsm::SymbolicCover sc = fsm::build_symbolic_cover(fsm);
+  res.symbolic_cubes = sc.on.size();
+
+  Cover minimized = logic::espresso(sc.on, sc.dc, opts);
+  res.minimized_cubes = minimized.size();
+
+  const int pv = sc.present_var();
+  const int n = sc.num_states;
+  std::vector<InputConstraint> raw;
+  raw.reserve(minimized.size());
+  for (const auto& cube : minimized) {
+    InputConstraint ic;
+    ic.states = util::BitVec(n);
+    for (int s = 0; s < n; ++s) {
+      if (cube.get(sc.spec.bit(pv, s))) ic.states.set(s);
+    }
+    ic.weight = 1;
+    raw.push_back(std::move(ic));
+  }
+  res.constraints = normalize_constraints(std::move(raw), n);
+  return res;
+}
+
+}  // namespace nova::constraints

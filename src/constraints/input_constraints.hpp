@@ -1,0 +1,25 @@
+// Input-constraint extraction by output-disjoint multiple-valued
+// minimization of the FSM's symbolic cover (paper section 2.2).
+//
+// The effect of MV minimization is to group present states that are mapped
+// by some input into the same next state and assert the same outputs; every
+// non-trivial present-state literal of the minimized cover is an input
+// constraint, weighted by the number of product terms carrying it.
+#pragma once
+
+#include "constraints/constraints.hpp"
+#include "fsm/fsm.hpp"
+#include "logic/espresso.hpp"
+
+namespace nova::constraints {
+
+struct InputConstraintResult {
+  std::vector<InputConstraint> constraints;
+  int minimized_cubes = 0;  ///< cardinality of the minimized MV cover
+  int symbolic_cubes = 0;   ///< rows of the symbolic cover before minimization
+};
+
+InputConstraintResult extract_input_constraints(
+    const fsm::Fsm& fsm, const logic::EspressoOptions& opts = {});
+
+}  // namespace nova::constraints

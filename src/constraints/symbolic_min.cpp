@@ -1,0 +1,248 @@
+#include "constraints/symbolic_min.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace nova::constraints {
+
+using logic::Cover;
+using logic::Cube;
+using logic::CubeSpec;
+using util::BitVec;
+
+namespace {
+
+/// Incremental transitive reachability over the covering DAG G.
+class Reach {
+ public:
+  explicit Reach(int n) : n_(n), r_(n, std::vector<char>(n, 0)) {}
+  bool path(int u, int v) const { return u == v ? true : r_[u][v] != 0; }
+  /// Adds edge u -> v and closes transitively.
+  void add_edge(int u, int v) {
+    if (r_[u][v]) return;
+    // Everything reaching u now also reaches everything v reaches.
+    for (int a = 0; a < n_; ++a) {
+      if (a != u && !path(a, u)) continue;
+      for (int b = 0; b < n_; ++b) {
+        if (b == a) continue;
+        if (b == v || path(v, b)) r_[a][b] = 1;
+      }
+    }
+  }
+
+ private:
+  int n_;
+  std::vector<std::vector<char>> r_;
+};
+
+/// Extracts the present-state literal of a cube as a BitVec over states.
+BitVec present_set(const Cube& c, const CubeSpec& spec, int pv, int n) {
+  BitVec b(n);
+  for (int s = 0; s < n; ++s) {
+    if (c.get(spec.bit(pv, s))) b.set(s);
+  }
+  return b;
+}
+
+}  // namespace
+
+SymbolicMinResult symbolic_minimize(const fsm::Fsm& fsm,
+                                    const logic::EspressoOptions& opts) {
+  SymbolicMinResult res;
+  const int n = fsm.num_states();
+  const int ni = fsm.num_inputs();
+  const int no = fsm.num_outputs();
+  res.rows_before = fsm.num_transitions();
+  if (n == 0) return res;
+
+  // Stage spec: binary inputs, present-state MV variable, output variable
+  // with value 0 = "next state is i" and values 1..no = the binary outputs.
+  std::vector<int> sizes(ni, 2);
+  sizes.push_back(n);
+  sizes.push_back(1 + no);
+  CubeSpec spec(std::move(sizes));
+  const int pv = ni;
+  const int ov = ni + 1;
+
+  // Row bases (input x present, output part full) and output assertions.
+  const auto& rows = fsm.transitions();
+  const int nrows = static_cast<int>(rows.size());
+  std::vector<Cube> base(nrows, Cube(spec));
+  for (int r = 0; r < nrows; ++r) {
+    Cube b = Cube::full(spec);
+    b.set_binary_from_pla(spec, 0, rows[r].input);
+    if (rows[r].present >= 0) b.set_value(spec, pv, rows[r].present);
+    base[r] = b;
+  }
+  // On-set row indices per next state.
+  std::vector<std::vector<int>> on_rows(n);
+  for (int r = 0; r < nrows; ++r) {
+    if (rows[r].next >= 0) on_rows[rows[r].next].push_back(r);
+  }
+
+  // The unspecified (input x present) region, don't-care for everything.
+  Cover specified(spec);
+  for (int r = 0; r < nrows; ++r) specified.add(base[r]);
+  Cover unspecified = logic::complement(specified);
+
+  Reach reach(n);
+  // Edges into state i discovered at stage i (cluster OC_i).
+  // Stage order: decreasing on-set size (larger on-sets first have more to
+  // gain and constrain later stages the least).
+  std::vector<int> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+    return on_rows[a].size() > on_rows[b].size();
+  });
+
+  // Accumulated FinalP implicants with their owning next state (-1 = output
+  // only), used for IC extraction.
+  struct Implicant {
+    Cube cube;
+    int next_state;
+  };
+  std::vector<Implicant> finalp;
+
+  for (int i : order) {
+    if (on_rows[i].empty()) continue;
+
+    Cover on(spec), dc(spec);
+    // ON: rows of next state i assert value 0 plus their high outputs;
+    // all other rows assert their high outputs (complete binary-output
+    // description, first modification).
+    for (int r = 0; r < nrows; ++r) {
+      Cube c = base[r];
+      for (int k = 0; k < spec.size(ov); ++k) c.clear(spec.bit(ov, k));
+      if (rows[r].next == i) c.set(spec.bit(ov, 0));
+      for (int j = 0; j < no; ++j) {
+        if (rows[r].output[j] == '1') c.set(spec.bit(ov, 1 + j));
+      }
+      on.add(c);
+      // DC: '-' outputs of every row.
+      for (int j = 0; j < no; ++j) {
+        if (rows[r].output[j] == '-') {
+          Cube d = base[r];
+          d.set_value(spec, ov, 1 + j);
+          dc.add(d);
+        }
+      }
+      // DC for value 0: rows whose next state j is not (yet) covered by i.
+      if (rows[r].next != i) {
+        int j = rows[r].next;
+        bool off = j >= 0 && reach.path(i, j) && i != j;
+        if (!off) {
+          Cube d = base[r];
+          d.set_value(spec, ov, 0);
+          dc.add(d);
+        }
+      }
+    }
+    dc.add_all(unspecified);
+
+    Cover mb = logic::espresso(on, dc, opts);
+    // M_i: minimized implicants asserting "next state is i".
+    std::vector<Cube> mi;
+    for (const Cube& c : mb) {
+      if (c.get(spec.bit(ov, 0))) mi.push_back(c);
+    }
+    const int before = static_cast<int>(on_rows[i].size());
+    const int after = static_cast<int>(mi.size());
+
+    if (after < before) {
+      // Accepted: record gain and the covering edges (j, i): any next state
+      // j whose on-set rows are intersected by M_i must cover i.
+      OutputCluster cluster;
+      cluster.next_state = i;
+      cluster.weight = before - after;
+      std::vector<char> hit(n, 0);
+      for (const Cube& m : mi) {
+        for (int r = 0; r < nrows; ++r) {
+          int j = rows[r].next;
+          if (j < 0 || j == i || hit[j]) continue;
+          if (m.intersects(spec, base[r])) hit[j] = 1;
+        }
+      }
+      for (int j = 0; j < n; ++j) {
+        if (hit[j] && !reach.path(i, j)) {
+          cluster.edges.push_back({j, i});
+          reach.add_edge(j, i);
+        }
+      }
+      std::vector<BitVec> ics;
+      for (const Cube& m : mi) {
+        finalp.push_back({m, i});
+        BitVec ps = present_set(m, spec, pv, n);
+        if (ps.count() >= 2 && ps.count() < n) ics.push_back(ps);
+      }
+      res.clusters.push_back(std::move(cluster));
+      res.cluster_ic.push_back(std::move(ics));
+    } else {
+      // Rejected: keep the original rows for this next state.
+      for (int r : on_rows[i]) {
+        Cube c = base[r];
+        for (int k = 0; k < spec.size(ov); ++k) c.clear(spec.bit(ov, k));
+        c.set(spec.bit(ov, 0));
+        for (int j = 0; j < no; ++j) {
+          if (rows[r].output[j] == '1') c.set(spec.bit(ov, 1 + j));
+        }
+        finalp.push_back({c, i});
+      }
+    }
+  }
+
+  // IC_o: constraints related only to the proper outputs -- minimize the
+  // output projection (next-state field ignored).
+  if (no > 0) {
+    std::vector<int> osz(ni, 2);
+    osz.push_back(n);
+    osz.push_back(no);
+    CubeSpec ospec(std::move(osz));
+    Cover oon(ospec), odc(ospec);
+    Cover ospecified(ospec);
+    for (int r = 0; r < nrows; ++r) {
+      Cube b = Cube::full(ospec);
+      b.set_binary_from_pla(ospec, 0, rows[r].input);
+      if (rows[r].present >= 0) b.set_value(ospec, pv, rows[r].present);
+      ospecified.add(b);
+      Cube c = b;
+      for (int k = 0; k < no; ++k) c.clear(ospec.bit(ov, k));
+      bool any = false;
+      for (int j = 0; j < no; ++j) {
+        if (rows[r].output[j] == '1') {
+          c.set(ospec.bit(ov, j));
+          any = true;
+        }
+        if (rows[r].output[j] == '-') {
+          Cube d = b;
+          d.set_value(ospec, ov, j);
+          odc.add(d);
+        }
+      }
+      if (any) oon.add(c);
+    }
+    odc.add_all(logic::complement(ospecified));
+    Cover om = logic::espresso(oon, odc, opts);
+    for (const Cube& c : om) {
+      BitVec ps = present_set(c, ospec, pv, n);
+      if (ps.count() >= 2 && ps.count() < n) res.output_only_ic.push_back(ps);
+      finalp.push_back({c, -1});
+    }
+  }
+
+  res.final_cubes = static_cast<int>(finalp.size());
+
+  // Aggregate all input constraints with occurrence weights.
+  std::vector<InputConstraint> raw;
+  for (const auto& imp : finalp) {
+    BitVec ps(n);
+    // finalp cubes live in two specs with identical input/present layout.
+    for (int s = 0; s < n; ++s) {
+      if (imp.cube.get(spec.bit(pv, s))) ps.set(s);
+    }
+    raw.push_back({ps, 1});
+  }
+  res.ic = normalize_constraints(std::move(raw), n);
+  return res;
+}
+
+}  // namespace nova::constraints

@@ -1,0 +1,42 @@
+// Symbolic minimization (paper section 6.1, the "revisited" variant).
+//
+// For each next state i, its on-set is minimized against a don't-care set
+// containing the on-sets of states not yet constrained to be covered by i,
+// and an off-set containing the on-sets of states that i already covers
+// (transitively) in the covering DAG G. A stage is accepted only when it
+// reduces the number of implicants of next state i (second modification in
+// the paper); binary outputs carry their full on/off description through
+// every stage (first modification).
+//
+// The result is the pair (IC, OC): input constraints clustered per next
+// state, and output covering clusters OC_i with gains w_i.
+#pragma once
+
+#include "constraints/constraints.hpp"
+#include "fsm/fsm.hpp"
+#include "logic/espresso.hpp"
+
+namespace nova::constraints {
+
+struct SymbolicMinResult {
+  /// All input constraints from the final symbolic cover, deduplicated and
+  /// weighted by occurrence count.
+  std::vector<InputConstraint> ic;
+  /// One cluster per accepted next state: covering edges into it + gain w_i.
+  std::vector<OutputCluster> clusters;
+  /// Companion input constraints IC_i (state sets) per cluster, aligned with
+  /// `clusters`; used by iovariant_code.
+  std::vector<std::vector<util::BitVec>> cluster_ic;
+  /// IC_o: input constraints related only to the proper outputs.
+  std::vector<util::BitVec> output_only_ic;
+  /// Upper bound on the encoded cover cardinality implied by the symbolic
+  /// cover (number of implicants accumulated into FinalP).
+  int final_cubes = 0;
+  /// Rows of the original symbolic cover.
+  int rows_before = 0;
+};
+
+SymbolicMinResult symbolic_minimize(const fsm::Fsm& fsm,
+                                    const logic::EspressoOptions& opts = {});
+
+}  // namespace nova::constraints

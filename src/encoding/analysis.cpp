@@ -1,0 +1,75 @@
+#include "encoding/analysis.hpp"
+
+#include <sstream>
+
+namespace nova::encoding {
+
+EncodingReport analyze_encoding(const Encoding& enc,
+                                const std::vector<InputConstraint>& ics) {
+  EncodingReport rep;
+  for (const auto& ic : ics) {
+    ConstraintReport cr;
+    cr.states = ic.states;
+    cr.weight = ic.weight;
+    std::vector<uint64_t> members;
+    for (int s = ic.states.first(); s >= 0; s = ic.states.next(s + 1))
+      members.push_back(enc.codes[s]);
+    auto face = supercube_face(members, enc.nbits);
+    if (face) {
+      cr.face = *face;
+      for (int s = 0; s < enc.num_states(); ++s) {
+        if (ic.states.get(s)) continue;
+        if (face->contains_code(enc.codes[s])) cr.intruders.push_back(s);
+      }
+    }
+    cr.satisfied = cr.intruders.empty();
+    rep.weight_total += ic.weight;
+    if (cr.satisfied) {
+      ++rep.satisfied;
+      rep.weight_satisfied += ic.weight;
+    }
+    rep.constraints.push_back(std::move(cr));
+  }
+  rep.distance_histogram.assign(enc.nbits + 1, 0);
+  for (int u = 0; u < enc.num_states(); ++u) {
+    for (int v = u + 1; v < enc.num_states(); ++v) {
+      int d = __builtin_popcountll(enc.codes[u] ^ enc.codes[v]);
+      if (d <= enc.nbits) ++rep.distance_histogram[d];
+    }
+  }
+  if (enc.nbits < 31) {
+    rep.unused_codes =
+        (1 << enc.nbits) - enc.num_states();
+  }
+  return rep;
+}
+
+std::string format_report(const EncodingReport& report, const Encoding& enc,
+                          const std::vector<std::string>& state_names) {
+  auto name_of = [&](int s) {
+    return s < static_cast<int>(state_names.size())
+               ? state_names[s]
+               : "s" + std::to_string(s);
+  };
+  std::ostringstream out;
+  for (const auto& cr : report.constraints) {
+    out << (cr.satisfied ? "  ok   " : "  VIOL ") << cr.states.to_string()
+        << " w=" << cr.weight << " face=" << cr.face.to_string(enc.nbits);
+    if (!cr.intruders.empty()) {
+      out << " intruders:";
+      for (int s : cr.intruders) out << ' ' << name_of(s);
+    }
+    out << '\n';
+  }
+  out << "  satisfied " << report.satisfied << "/"
+      << report.constraints.size() << " (weight " << report.weight_satisfied
+      << "/" << report.weight_total << "), unused codes "
+      << report.unused_codes << '\n';
+  out << "  pair-distance histogram:";
+  for (size_t d = 0; d < report.distance_histogram.size(); ++d)
+    out << ' ' << d << ':' << report.distance_histogram[d];
+  out << '\n';
+  return out.str();
+}
+
+}  // namespace nova::encoding

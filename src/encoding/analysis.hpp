@@ -1,0 +1,37 @@
+// Human-readable analysis of an encoding against its constraints: which
+// faces are spanned, which constraints hold, where the violations are.
+// Backs the CLI's verbose mode and the examples.
+#pragma once
+
+#include <string>
+
+#include "encoding/encoding.hpp"
+
+namespace nova::encoding {
+
+struct ConstraintReport {
+  BitVec states;
+  int weight = 0;
+  bool satisfied = false;
+  Face face;                   ///< face spanned by the member codes
+  std::vector<int> intruders;  ///< non-member states inside the face
+};
+
+struct EncodingReport {
+  std::vector<ConstraintReport> constraints;
+  int satisfied = 0;
+  int weight_satisfied = 0;
+  int weight_total = 0;
+  /// Hamming-distance profile between all code pairs (index = distance).
+  std::vector<int> distance_histogram;
+  int unused_codes = 0;
+};
+
+EncodingReport analyze_encoding(const Encoding& enc,
+                                const std::vector<InputConstraint>& ics);
+
+/// Multi-line rendering: one line per constraint plus a summary.
+std::string format_report(const EncodingReport& report, const Encoding& enc,
+                          const std::vector<std::string>& state_names = {});
+
+}  // namespace nova::encoding

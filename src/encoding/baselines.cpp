@@ -1,0 +1,227 @@
+#include "encoding/baselines.hpp"
+
+#include <algorithm>
+#include <set>
+
+namespace nova::encoding {
+
+Encoding random_encoding(int num_states, int nbits, util::Rng& rng) {
+  Encoding e;
+  e.nbits = nbits;
+  e.codes.resize(num_states);
+  if (nbits <= 20) {
+    // Shuffle the full code space and take a prefix.
+    std::vector<uint64_t> space(size_t{1} << nbits);
+    for (size_t i = 0; i < space.size(); ++i) space[i] = i;
+    rng.shuffle(space);
+    for (int s = 0; s < num_states; ++s) e.codes[s] = space[s];
+  } else {
+    std::set<uint64_t> used;
+    uint64_t maskv = nbits >= 64 ? ~uint64_t{0} : ((uint64_t{1} << nbits) - 1);
+    for (int s = 0; s < num_states; ++s) {
+      uint64_t c;
+      do {
+        c = rng.next() & maskv;
+      } while (!used.insert(c).second);
+      e.codes[s] = c;
+    }
+  }
+  return e;
+}
+
+KissResult kiss_code(const std::vector<InputConstraint>& ics, int num_states,
+                     const HybridOptions& opts) {
+  KissResult res;
+  // KISS satisfies every input constraint with a heuristic that does not
+  // always reach the minimum length: model it by trying the bounded
+  // embedding at increasing lengths, falling back to projection when the
+  // search keeps failing.
+  const int min_len = min_code_length(num_states);
+  for (int k = min_len; k <= std::min(min_len + 3, 20); ++k) {
+    EmbedOptions eo;
+    eo.max_work = opts.max_work;
+    EmbedResult er = semiexact_code(ics, num_states, k, eo);
+    if (er.success) {
+      res.enc = std::move(er.enc);
+      res.nbits = k;
+      res.all_satisfied = true;
+      return res;
+    }
+  }
+  HybridOptions h = opts;
+  h.nbits = 62;  // unbounded projection: raise until everything holds
+  HybridResult hr = ihybrid_code(ics, num_states, h);
+  res.all_satisfied = hr.ric.empty();
+  res.enc = std::move(hr.enc);
+  res.nbits = res.enc.nbits;
+  return res;
+}
+
+std::vector<std::vector<long>> mustang_weights(const fsm::Fsm& fsm,
+                                               MustangVariant variant) {
+  const int n = fsm.num_states();
+  const int no = fsm.num_outputs();
+  std::vector<std::vector<long>> w(n, std::vector<long>(n, 0));
+  const auto& rows = fsm.transitions();
+
+  if (variant == MustangVariant::kFanout) {
+    // Present-state pairs going to the same next state, or asserting the
+    // same outputs, should be adjacent.
+    std::vector<std::vector<long>> to_next(n, std::vector<long>(n, 0));
+    std::vector<std::vector<long>> asserts(n, std::vector<long>(no, 0));
+    for (const auto& t : rows) {
+      if (t.present < 0) continue;
+      if (t.next >= 0) ++to_next[t.present][t.next];
+      for (int o = 0; o < no; ++o) {
+        if (t.output[o] == '1') ++asserts[t.present][o];
+      }
+    }
+    const int nb = min_code_length(n);
+    for (int u = 0; u < n; ++u) {
+      for (int v = u + 1; v < n; ++v) {
+        long s = 0;
+        for (int x = 0; x < n; ++x) s += to_next[u][x] * to_next[v][x] * nb;
+        for (int o = 0; o < no; ++o) s += asserts[u][o] * asserts[v][o];
+        w[u][v] = w[v][u] = s;
+      }
+    }
+  } else {
+    // Next-state pairs reached from the same present state (common fanin).
+    std::vector<std::vector<long>> from(n, std::vector<long>(n, 0));
+    for (const auto& t : rows) {
+      if (t.present < 0 || t.next < 0) continue;
+      ++from[t.next][t.present];
+    }
+    for (int u = 0; u < n; ++u) {
+      for (int v = u + 1; v < n; ++v) {
+        long s = 0;
+        for (int p = 0; p < n; ++p) s += from[u][p] * from[v][p];
+        w[u][v] = w[v][u] = s;
+      }
+    }
+  }
+  return w;
+}
+
+long weighted_hamming_cost(const Encoding& enc,
+                           const std::vector<std::vector<long>>& w) {
+  long cost = 0;
+  const int n = enc.num_states();
+  for (int u = 0; u < n; ++u) {
+    for (int v = u + 1; v < n; ++v) {
+      cost += w[u][v] *
+              __builtin_popcountll(enc.codes[u] ^ enc.codes[v]);
+    }
+  }
+  return cost;
+}
+
+Encoding mustang_code(const fsm::Fsm& fsm, int nbits, MustangVariant variant,
+                      util::Rng& rng) {
+  const int n = fsm.num_states();
+  const int k = std::max(nbits, min_code_length(n));
+  auto w = mustang_weights(fsm, variant);
+
+  Encoding enc;
+  enc.nbits = k;
+  enc.codes.assign(n, 0);
+
+  // Greedy placement: repeatedly place the state with the largest total
+  // affinity to already-placed states, at the free code minimizing the
+  // partial weighted-Hamming cost.
+  std::vector<char> placed(n, 0);
+  std::vector<char> used(size_t{1} << k, 0);
+  // Seed: the state with the largest total weight, at code 0.
+  int seed = 0;
+  long best_tot = -1;
+  for (int s = 0; s < n; ++s) {
+    long tot = 0;
+    for (int t = 0; t < n; ++t) tot += w[s][t];
+    if (tot > best_tot) {
+      best_tot = tot;
+      seed = s;
+    }
+  }
+  enc.codes[seed] = 0;
+  placed[seed] = 1;
+  used[0] = 1;
+  for (int step = 1; step < n; ++step) {
+    int pick = -1;
+    long pick_w = -1;
+    for (int s = 0; s < n; ++s) {
+      if (placed[s]) continue;
+      long tot = 0;
+      for (int t = 0; t < n; ++t) {
+        if (placed[t]) tot += w[s][t];
+      }
+      if (tot > pick_w) {
+        pick_w = tot;
+        pick = s;
+      }
+    }
+    uint64_t best_code = 0;
+    long best_cost = -1;
+    for (uint64_t c = 0; c < (uint64_t{1} << k); ++c) {
+      if (used[c]) continue;
+      long cost = 0;
+      for (int t = 0; t < n; ++t) {
+        if (placed[t])
+          cost += w[pick][t] * __builtin_popcountll(c ^ enc.codes[t]);
+      }
+      if (best_cost < 0 || cost < best_cost) {
+        best_cost = cost;
+        best_code = c;
+      }
+    }
+    enc.codes[pick] = best_code;
+    placed[pick] = 1;
+    used[best_code] = 1;
+  }
+
+  // Pairwise-swap hill climbing with O(n) incremental cost deltas, plus
+  // moves to free codes.
+  auto ham = [](uint64_t a, uint64_t b) {
+    return __builtin_popcountll(a ^ b);
+  };
+  bool improved = true;
+  int passes = 0;
+  while (improved && passes < 8) {
+    improved = false;
+    ++passes;
+    for (int u = 0; u < n; ++u) {
+      for (int v = u + 1; v < n; ++v) {
+        long delta = 0;
+        for (int t = 0; t < n; ++t) {
+          if (t == u || t == v) continue;
+          delta += w[u][t] * (ham(enc.codes[v], enc.codes[t]) -
+                              ham(enc.codes[u], enc.codes[t]));
+          delta += w[v][t] * (ham(enc.codes[u], enc.codes[t]) -
+                              ham(enc.codes[v], enc.codes[t]));
+        }
+        if (delta < 0) {
+          std::swap(enc.codes[u], enc.codes[v]);
+          improved = true;
+        }
+      }
+      for (uint64_t c = 0; c < (uint64_t{1} << k); ++c) {
+        if (used[c]) continue;
+        long delta = 0;
+        for (int t = 0; t < n; ++t) {
+          if (t == u) continue;
+          delta += w[u][t] *
+                   (ham(c, enc.codes[t]) - ham(enc.codes[u], enc.codes[t]));
+        }
+        if (delta < 0) {
+          used[enc.codes[u]] = 0;
+          used[c] = 1;
+          enc.codes[u] = c;
+          improved = true;
+        }
+      }
+    }
+  }
+  (void)rng;
+  return enc;
+}
+
+}  // namespace nova::encoding

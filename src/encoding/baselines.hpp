@@ -1,0 +1,47 @@
+// Baseline encoders used in the paper's comparisons (section VII):
+// random assignments, a KISS-like all-constraints-satisfied encoder, and a
+// MUSTANG-like multilevel-oriented encoder.
+//
+// The 1-hot baseline needs no Encoding: the cube count of a minimized
+// 1-hot-encoded PLA equals the cardinality of the multiple-valued minimized
+// symbolic cover (extract_input_constraints().minimized_cubes).
+#pragma once
+
+#include "encoding/hybrid.hpp"
+#include "fsm/fsm.hpp"
+#include "util/rng.hpp"
+
+namespace nova::encoding {
+
+/// Uniformly random injective assignment of nbits-bit codes.
+Encoding random_encoding(int num_states, int nbits, util::Rng& rng);
+
+struct KissResult {
+  Encoding enc;
+  int nbits = 0;
+  bool all_satisfied = false;
+};
+
+/// KISS-like baseline: satisfies ALL input constraints heuristically,
+/// increasing the code length as needed (the paper's characterization of
+/// KISS: guaranteed satisfaction, not guaranteed minimum length).
+KissResult kiss_code(const std::vector<InputConstraint>& ics, int num_states,
+                     const HybridOptions& opts = {});
+
+enum class MustangVariant { kFanout, kFanin };
+
+/// MUSTANG-like baseline: state-pair affinity weights (fanout- or fanin-
+/// oriented) embedded by greedy placement plus pairwise-swap improvement,
+/// minimizing sum of weight * Hamming distance.
+Encoding mustang_code(const fsm::Fsm& fsm, int nbits, MustangVariant variant,
+                      util::Rng& rng);
+
+/// The affinity matrix used by mustang_code; exposed for tests.
+std::vector<std::vector<long>> mustang_weights(const fsm::Fsm& fsm,
+                                               MustangVariant variant);
+
+/// Total weighted Hamming cost of an encoding under a weight matrix.
+long weighted_hamming_cost(const Encoding& enc,
+                           const std::vector<std::vector<long>>& w);
+
+}  // namespace nova::encoding

@@ -1,0 +1,418 @@
+#include "encoding/embed.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <optional>
+
+namespace nova::encoding {
+
+namespace {
+
+/// Enumerates the subfaces of a base face, level by level, in the paper's
+/// order: for each x-position pattern (lexicographic combinations of the
+/// base face's free positions), all value assignments of the newly fixed
+/// positions.
+class FaceGen {
+ public:
+  FaceGen() = default;
+
+  /// `levels` are tried in the given order.
+  FaceGen(const Face& base, int k, std::vector<int> levels)
+      : base_(base), levels_(std::move(levels)) {
+    for (int b = 0; b < k; ++b) {
+      if (!((base_.mask >> b) & 1)) free_.push_back(b);
+    }
+    level_idx_ = -1;
+  }
+
+  std::optional<Face> next() {
+    while (true) {
+      if (level_idx_ < 0 || !advance()) {
+        ++level_idx_;
+        if (level_idx_ >= static_cast<int>(levels_.size())) return std::nullopt;
+        int L = levels_[level_idx_];
+        int F = static_cast<int>(free_.size());
+        if (L > F) continue;  // level not available within this base face
+        comb_.resize(L);
+        std::iota(comb_.begin(), comb_.end(), 0);
+        value_ = 0;
+        nfixed_ = F - L;
+        comb_done_ = false;
+      }
+      return make_face();
+    }
+  }
+
+  void reset() { level_idx_ = -1; }
+
+ private:
+  /// Advances (value, combination); false when the level is exhausted.
+  bool advance() {
+    if (comb_done_) return false;
+    int L = levels_[level_idx_];
+    int F = static_cast<int>(free_.size());
+    if (L > F) return false;
+    if (++value_ < (uint64_t{1} << nfixed_)) return true;
+    value_ = 0;
+    // next lexicographic combination of L out of F
+    int i = L - 1;
+    while (i >= 0 && comb_[i] == F - L + i) --i;
+    if (i < 0) {
+      comb_done_ = true;
+      return false;
+    }
+    ++comb_[i];
+    for (int j = i + 1; j < L; ++j) comb_[j] = comb_[j - 1] + 1;
+    return true;
+  }
+
+  Face make_face() const {
+    Face f = base_;
+    int L = levels_[level_idx_];
+    std::vector<char> is_x(free_.size(), 0);
+    for (int c : comb_) is_x[c] = 1;
+    int vi = 0;
+    for (size_t i = 0; i < free_.size(); ++i) {
+      if (is_x[i]) continue;
+      int b = free_[i];
+      f.mask |= uint64_t{1} << b;
+      if ((value_ >> vi) & 1) f.bits |= uint64_t{1} << b;
+      ++vi;
+    }
+    (void)L;
+    return f;
+  }
+
+  Face base_;
+  std::vector<int> levels_;
+  std::vector<int> free_;
+  int level_idx_ = -1;
+  std::vector<int> comb_;
+  uint64_t value_ = 0;
+  int nfixed_ = 0;
+  bool comb_done_ = false;
+};
+
+class Search {
+ public:
+  Search(const InputGraph& ig, int k, const std::vector<int>& dimvect,
+         const EmbedOptions& opts)
+      : ig_(ig), k_(k), opts_(opts) {
+    // Level per primary, indexed by node id.
+    primary_level_.assign(ig.size(), -1);
+    const auto& prim = ig.primaries();
+    for (size_t i = 0; i < prim.size(); ++i) {
+      int lvl = i < dimvect.size() ? dimvect[i]
+                                   : ig.node(prim[i]).min_level();
+      primary_level_[prim[i]] = lvl;
+    }
+    // Assignment order: by descending cardinality (fathers first), then
+    // category 1 before 3 before 2, then set order for determinism.
+    order_.reserve(ig.size());
+    for (int i = 0; i < ig.size(); ++i) {
+      if (i != ig.universe()) order_.push_back(i);
+    }
+    std::stable_sort(order_.begin(), order_.end(), [&](int a, int b) {
+      int ca = ig.node(a).cardinality(), cb = ig.node(b).cardinality();
+      if (ca != cb) return ca > cb;
+      int pa = ig.node(a).category, pb = ig.node(b).category;
+      // category order 1 < 3 < 2
+      auto rank = [](int c) { return c == 1 ? 0 : (c == 3 ? 1 : 2); };
+      if (rank(pa) != rank(pb)) return rank(pa) < rank(pb);
+      return ig.node(a).set < ig.node(b).set;
+    });
+    faces_.assign(ig.size(), Face{});
+    assigned_.assign(ig.size(), 0);
+    faces_[ig.universe()] = Face::universe();
+    assigned_[ig.universe()] = 1;
+    gens_.resize(order_.size());
+  }
+
+  EmbedResult run() {
+    EmbedResult res;
+    const int n = static_cast<int>(order_.size());
+    int idx = 0;
+    // Position of each order index's generator validity.
+    std::vector<char> gen_ready(n, 0);
+    while (true) {
+      if (idx == n) {
+        if (final_check()) {
+          res.success = true;
+          res.faces = faces_;
+          res.enc = extract_encoding();
+          res.work = work_;
+          return res;
+        }
+        // Treat as failure of the last choice node.
+        idx = backtrack(idx, gen_ready);
+        if (idx < 0) break;
+        continue;
+      }
+      int node = order_[idx];
+      const PosetNode& pn = ig_.node(node);
+      bool placed = false;
+      if (pn.category == 2) {
+        // Face forced: intersection of the fathers' faces. No retry: if the
+        // generator was "ready" we already failed here once.
+        if (!gen_ready[idx]) {
+          gen_ready[idx] = 1;
+          Face f = Face::universe();
+          bool ok = true;
+          for (int fa : pn.fathers) {
+            if (!faces_[fa].intersects(f)) {
+              ok = false;
+              break;
+            }
+            f = f.intersect(faces_[fa]);
+          }
+          ++work_;
+          if (ok && verify(node, f)) {
+            faces_[node] = f;
+            assigned_[node] = 1;
+            placed = true;
+          }
+        }
+      } else {
+        if (!gen_ready[idx]) {
+          gens_[idx] = make_generator(node);
+          gen_ready[idx] = 1;
+        }
+        while (auto f = gens_[idx].next()) {
+          if (++work_ > opts_.max_work) {
+            res.exhausted = true;
+            res.work = work_;
+            return res;
+          }
+          if (verify(node, *f)) {
+            faces_[node] = *f;
+            assigned_[node] = 1;
+            placed = true;
+            break;
+          }
+        }
+      }
+      if (placed) {
+        ++idx;
+      } else {
+        gen_ready[idx] = 0;
+        idx = backtrack(idx, gen_ready);
+        if (idx < 0) break;
+      }
+      if (work_ > opts_.max_work) {
+        res.exhausted = true;
+        break;
+      }
+    }
+    res.work = work_;
+    return res;
+  }
+
+ private:
+  FaceGen make_generator(int node) const {
+    const PosetNode& pn = ig_.node(node);
+    const Face& base =
+        pn.fathers.empty() ? Face::universe() : faces_[pn.fathers[0]];
+    std::vector<int> levels;
+    if (pn.cardinality() == 1) {
+      levels = {0};
+    } else if (pn.category == 1) {
+      levels = {primary_level_[node]};
+    } else {
+      // Category 3: any level from the minimum up to strictly inside the
+      // father's face.
+      int fl = base.level(k_);
+      for (int l = pn.min_level(); l < fl; ++l) levels.push_back(l);
+    }
+    return FaceGen(base, k_, std::move(levels));
+  }
+
+  /// Incremental correctness checks of paper 3.4.3.
+  bool verify(int node, const Face& f) const {
+    const PosetNode& pn = ig_.node(node);
+    // Room: the face must hold all member codes.
+    int lvl = f.level(k_);
+    if (lvl > 63 || (lvl < 63 && (int64_t{1} << lvl) < pn.cardinality()))
+      return false;
+    // Strictly inside every father's face.
+    for (int fa : pn.fathers) {
+      if (!faces_[fa].contains(f) || faces_[fa] == f) return false;
+    }
+    for (int y = 0; y < ig_.size(); ++y) {
+      if (!assigned_[y] || y == node) continue;
+      const Face& g = faces_[y];
+      const BitVec& sy = ig_.node(y).set;
+      if (g == f) return false;  // injectivity
+      if (g.contains(f)) {
+        if (!(sy.contains(pn.set) && sy != pn.set)) return false;
+      } else if (f.contains(g)) {
+        if (!(pn.set.contains(sy) && sy != pn.set)) return false;
+      } else if (f.intersects(g)) {
+        BitVec m = pn.set & sy;
+        if (m.none()) return false;
+        // Partial face overlap with set containment is inconsistent: the
+        // containment branch above would have to hold instead.
+        if (m == pn.set || m == sy) return false;
+        Face i = f.intersect(g);
+        int il = i.level(k_);
+        if ((int64_t{1} << il) < m.count()) return false;
+        int mi = ig_.find(m);
+        if (mi >= 0 && assigned_[mi] && !(faces_[mi] == i)) return false;
+      } else {
+        if (pn.set.intersects(sy)) return false;
+      }
+    }
+    // Output covering constraints between fully decided states.
+    if (opts_.coverings && pn.cardinality() == 1) {
+      int s = pn.set.first();
+      for (const auto& oc : *opts_.coverings) {
+        int other = -1;
+        if (oc.covering == s)
+          other = oc.covered;
+        else if (oc.covered == s)
+          other = oc.covering;
+        else
+          continue;
+        int on = ig_.singleton(other);
+        if (on == node || !assigned_[on]) continue;
+        uint64_t full = k_ >= 64 ? ~uint64_t{0} : ((uint64_t{1} << k_) - 1);
+        if (f.mask != full || faces_[on].mask != full) continue;
+        uint64_t cu = oc.covering == s ? f.bits : faces_[on].bits;
+        uint64_t cv = oc.covered == s ? f.bits : faces_[on].bits;
+        if ((cu | cv) != cu || cu == cv) return false;
+      }
+    }
+    return true;
+  }
+
+  /// Global validation of intersection preservation over all node pairs.
+  bool final_check() const {
+    for (int a = 0; a < ig_.size(); ++a) {
+      for (int b = a + 1; b < ig_.size(); ++b) {
+        const Face &fa = faces_[a], &fb = faces_[b];
+        BitVec m = ig_.node(a).set & ig_.node(b).set;
+        bool fi = fa.intersects(fb);
+        if (m.none()) {
+          if (fi && a != ig_.universe() && b != ig_.universe()) return false;
+          continue;
+        }
+        if (!fi) return false;
+        int mi = ig_.find(m);
+        if (mi >= 0) {
+          Face i = fa.intersect(fb);
+          if (!(faces_[mi] == i) && a != ig_.universe() &&
+              b != ig_.universe())
+            return false;
+        }
+      }
+    }
+    if (opts_.coverings) {
+      Encoding e = extract_encoding();
+      for (const auto& oc : *opts_.coverings) {
+        if (!covering_satisfied(e, oc)) return false;
+      }
+    }
+    return true;
+  }
+
+  Encoding extract_encoding() const {
+    Encoding e;
+    e.nbits = k_;
+    e.codes.resize(ig_.num_states());
+    for (int s = 0; s < ig_.num_states(); ++s) {
+      // A singleton face is normally a vertex; if it has free positions
+      // (possible for forced category-2 faces), take its lowest vertex --
+      // safe because singleton faces are pairwise disjoint.
+      e.codes[s] = faces_[ig_.singleton(s)].bits;
+    }
+    return e;
+  }
+
+  int backtrack(int idx, std::vector<char>& gen_ready) {
+    // Undo assignments down to the nearest earlier choice node.
+    for (int j = idx - 1; j >= 0; --j) {
+      int node = order_[j];
+      assigned_[node] = 0;
+      if (ig_.node(node).category != 2) return j;  // resume its generator
+      gen_ready[j] = 0;
+    }
+    return -1;
+  }
+
+  const InputGraph& ig_;
+  int k_;
+  EmbedOptions opts_;
+  std::vector<int> order_;
+  std::vector<int> primary_level_;
+  std::vector<Face> faces_;
+  std::vector<char> assigned_;
+  std::vector<FaceGen> gens_;
+  long work_ = 0;
+};
+
+}  // namespace
+
+EmbedResult pos_equiv(const InputGraph& ig, int k,
+                      const std::vector<int>& dimvect,
+                      const EmbedOptions& opts) {
+  if (k < 1 || k > 63) return {};
+  Search s(ig, k, dimvect, opts);
+  return s.run();
+}
+
+ExactResult iexact_code(const InputGraph& ig, const ExactOptions& opts) {
+  ExactResult res;
+  const int n = ig.num_states();
+  const int kmax = opts.max_bits > 0 ? opts.max_bits : std::max(n, 1);
+  long budget = opts.max_work;
+  for (int k = mincube_dim(ig); k <= kmax && k <= 63; ++k) {
+    // Enumerate primary level vectors in increasing lexicographic order.
+    const auto& prim = ig.primaries();
+    const int np = static_cast<int>(prim.size());
+    std::vector<int> lo(np), dimvect(np);
+    for (int i = 0; i < np; ++i) lo[i] = ig.node(prim[i]).min_level();
+    dimvect = lo;
+    bool more = true;
+    // Skip dimensions where some primary cannot fit at all.
+    bool feasible = true;
+    for (int i = 0; i < np; ++i) {
+      if (lo[i] > k - 1) feasible = false;
+    }
+    while (more && feasible) {
+      EmbedOptions eo;
+      eo.max_work = budget;
+      EmbedResult er = pos_equiv(ig, k, dimvect, eo);
+      budget -= er.work;
+      res.work += er.work;
+      if (er.success) {
+        res.success = true;
+        res.nbits = k;
+        res.enc = std::move(er.enc);
+        return res;
+      }
+      if (budget <= 0) {
+        res.exhausted = true;
+        return res;
+      }
+      // Next lexicographic vector with digits in [lo[i], k-1].
+      int i = np - 1;
+      while (i >= 0 && dimvect[i] == k - 1) {
+        dimvect[i] = lo[i];
+        --i;
+      }
+      if (i < 0)
+        more = false;
+      else
+        ++dimvect[i];
+    }
+  }
+  return res;
+}
+
+EmbedResult semiexact_code(const std::vector<InputConstraint>& ics,
+                           int num_states, int k, const EmbedOptions& opts) {
+  InputGraph ig(ics, num_states);
+  // Minimum-level primary faces only (empty dimvect = min levels).
+  return pos_equiv(ig, k, {}, opts);
+}
+
+}  // namespace nova::encoding

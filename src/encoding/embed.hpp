@@ -1,0 +1,68 @@
+// The face-embedding search engine (paper sections 3.3-3.4 and 4.1).
+//
+// pos_equiv() answers restricted SUBPOSET EQUIVALENCE: given the input
+// graph, a cube dimension k and a primary level vector, it searches by
+// chronological backtracking for an injective, inclusion- and
+// intersection-preserving map from the poset nodes to faces of the k-cube.
+//
+// iexact_code() wraps it in the two outer enumerations of the paper:
+// increasing cube dimension from the mincube_dim() lower bound, and
+// lexicographic enumeration of primary level vectors.
+//
+// semiexact_code() is the bounded variant used inside ihybrid_code: only
+// minimum-dimension faces for the primary constraints, and a hard cap on
+// the number of attempted assignments (the paper's `max_work`).
+#pragma once
+
+#include "encoding/encoding.hpp"
+#include "encoding/poset.hpp"
+
+namespace nova::encoding {
+
+struct EmbedOptions {
+  /// Budget of attempted face assignments before giving up ("max_work").
+  long max_work = 200000;
+  /// Output covering constraints to honor during the search (io mode).
+  const std::vector<OutputConstraint>* coverings = nullptr;
+};
+
+struct EmbedResult {
+  bool success = false;
+  /// True when the search stopped on the work budget rather than proving
+  /// that no assignment exists.
+  bool exhausted = false;
+  Encoding enc;              ///< codes per state (valid when success)
+  std::vector<Face> faces;   ///< face per poset node (valid when success)
+  long work = 0;             ///< assignments attempted
+};
+
+/// Restricted subposet equivalence for cube dimension k. `dimvect[i]` is the
+/// face level of the i-th primary constraint (ig.primaries() order); pass an
+/// empty vector to pin every primary at its minimum feasible level.
+EmbedResult pos_equiv(const InputGraph& ig, int k,
+                      const std::vector<int>& dimvect,
+                      const EmbedOptions& opts = {});
+
+struct ExactOptions {
+  long max_work = 2000000;  ///< total budget across all pos_equiv calls
+  int max_bits = 0;         ///< 0 = up to num_states
+};
+
+struct ExactResult {
+  bool success = false;
+  bool exhausted = false;  ///< budget ran out before an answer was proven
+  int nbits = 0;
+  Encoding enc;
+  long work = 0;
+};
+
+/// Exact face hypercube embedding: minimum k satisfying all constraints.
+ExactResult iexact_code(const InputGraph& ig, const ExactOptions& opts = {});
+
+/// Bounded-backtrack embedding at a fixed dimension with minimum-level
+/// primary faces (the core step of ihybrid_code).
+EmbedResult semiexact_code(const std::vector<InputConstraint>& ics,
+                           int num_states, int k,
+                           const EmbedOptions& opts = {});
+
+}  // namespace nova::encoding

@@ -1,0 +1,91 @@
+#include "encoding/encoding.hpp"
+
+#include <algorithm>
+
+namespace nova::encoding {
+
+bool Encoding::injective() const {
+  std::vector<uint64_t> c = codes;
+  std::sort(c.begin(), c.end());
+  return std::adjacent_find(c.begin(), c.end()) == c.end();
+}
+
+std::string Encoding::code_string(int state) const {
+  std::string s(nbits, '0');
+  for (int b = 0; b < nbits; ++b) {
+    if ((codes[state] >> b) & 1) s[nbits - 1 - b] = '1';
+  }
+  return s;
+}
+
+std::string Face::to_string(int k) const {
+  std::string s(k, 'x');
+  for (int b = 0; b < k; ++b) {
+    if ((mask >> b) & 1) s[k - 1 - b] = ((bits >> b) & 1) ? '1' : '0';
+  }
+  return s;
+}
+
+std::optional<Face> supercube_face(const std::vector<uint64_t>& codes, int k) {
+  if (codes.empty()) return std::nullopt;
+  uint64_t ands = codes[0], ors = codes[0];
+  for (uint64_t c : codes) {
+    ands &= c;
+    ors |= c;
+  }
+  uint64_t kmask = k >= 64 ? ~uint64_t{0} : ((uint64_t{1} << k) - 1);
+  uint64_t agree = ~(ands ^ ors) & kmask;
+  return Face{agree, ands & agree};
+}
+
+bool constraint_satisfied(const Encoding& enc, const BitVec& states) {
+  std::vector<uint64_t> members;
+  for (int s = states.first(); s >= 0; s = states.next(s + 1))
+    members.push_back(enc.codes[s]);
+  auto face = supercube_face(members, enc.nbits);
+  if (!face) return true;
+  for (int s = 0; s < enc.num_states(); ++s) {
+    if (states.get(s)) continue;
+    if (face->contains_code(enc.codes[s])) return false;
+  }
+  return true;
+}
+
+bool constraint_satisfied(const Encoding& enc, const InputConstraint& ic) {
+  return constraint_satisfied(enc, ic.states);
+}
+
+bool covering_satisfied(const Encoding& enc, const OutputConstraint& oc) {
+  uint64_t u = enc.codes[oc.covering], v = enc.codes[oc.covered];
+  return (u | v) == u && u != v;
+}
+
+bool cluster_satisfied(const Encoding& enc, const OutputCluster& oc) {
+  for (const auto& e : oc.edges) {
+    if (!covering_satisfied(enc, e)) return false;
+  }
+  return true;
+}
+
+SatisfactionSummary summarize_satisfaction(
+    const Encoding& enc, const std::vector<InputConstraint>& ics) {
+  SatisfactionSummary s;
+  for (const auto& ic : ics) {
+    if (constraint_satisfied(enc, ic)) {
+      ++s.satisfied;
+      s.weight_satisfied += ic.weight;
+    } else {
+      ++s.unsatisfied;
+      s.weight_unsatisfied += ic.weight;
+    }
+  }
+  return s;
+}
+
+int min_code_length(int n) {
+  int k = 1;
+  while ((1 << k) < n) ++k;
+  return k;
+}
+
+}  // namespace nova::encoding

@@ -1,0 +1,99 @@
+// Common encoding types: state codes, hypercube faces, and the satisfaction
+// checkers used by every algorithm and by the test suite.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "constraints/constraints.hpp"
+#include "util/bitvec.hpp"
+
+namespace nova::encoding {
+
+using constraints::InputConstraint;
+using constraints::OutputCluster;
+using constraints::OutputConstraint;
+using util::BitVec;
+
+/// An assignment of Boolean codes to states. Codes are k-bit values stored
+/// in the low bits of a uint64_t (k <= 63 everywhere in this library; the
+/// 1-hot baseline uses its own wide representation when needed).
+struct Encoding {
+  int nbits = 0;
+  std::vector<uint64_t> codes;
+
+  int num_states() const { return static_cast<int>(codes.size()); }
+  bool injective() const;
+  std::string code_string(int state) const;  ///< MSB-first "0101" rendering
+};
+
+/// A face (subcube) of the k-cube: `mask` bit set = position specified with
+/// the corresponding `bits` value; unset = don't-care (an 'x').
+struct Face {
+  uint64_t mask = 0;
+  uint64_t bits = 0;  ///< invariant: bits subset-of mask
+
+  bool operator==(const Face& o) const {
+    return mask == o.mask && bits == o.bits;
+  }
+  bool operator!=(const Face& o) const { return !(*this == o); }
+
+  int level(int k) const { return k - __builtin_popcountll(mask); }
+
+  /// True iff the two faces share at least one vertex.
+  bool intersects(const Face& o) const {
+    return ((bits ^ o.bits) & mask & o.mask) == 0;
+  }
+  /// The common subcube; only meaningful when intersects().
+  Face intersect(const Face& o) const {
+    return {mask | o.mask, (bits | o.bits) & (mask | o.mask)};
+  }
+  /// True iff *this contains o (every vertex of o is in *this).
+  bool contains(const Face& o) const {
+    return (mask & ~o.mask) == 0 && ((bits ^ o.bits) & mask) == 0;
+  }
+  /// True iff the vertex (full code) lies inside the face.
+  bool contains_code(uint64_t code) const {
+    return ((code ^ bits) & mask) == 0;
+  }
+
+  static Face vertex(uint64_t code, int k) {
+    uint64_t m = k >= 64 ? ~uint64_t{0} : ((uint64_t{1} << k) - 1);
+    return {m, code & m};
+  }
+  static Face universe() { return {0, 0}; }
+
+  std::string to_string(int k) const;  ///< MSB-first over {0,1,x}
+};
+
+/// Smallest face containing all the given codes; nullopt if the list is
+/// empty.
+std::optional<Face> supercube_face(const std::vector<uint64_t>& codes, int k);
+
+/// True iff the constraint is satisfied by the encoding: the minimal face
+/// spanned by the member codes contains no non-member code (paper 2.2).
+bool constraint_satisfied(const Encoding& enc, const BitVec& states);
+bool constraint_satisfied(const Encoding& enc, const InputConstraint& ic);
+
+/// True iff code(covering) bit-wise covers code(covered) and differs.
+bool covering_satisfied(const Encoding& enc, const OutputConstraint& oc);
+
+/// True iff every edge of the cluster is satisfied.
+bool cluster_satisfied(const Encoding& enc, const OutputCluster& oc);
+
+/// Sum of weights of satisfied / total constraints.
+struct SatisfactionSummary {
+  int satisfied = 0;
+  int unsatisfied = 0;
+  int weight_satisfied = 0;
+  int weight_unsatisfied = 0;
+};
+SatisfactionSummary summarize_satisfaction(
+    const Encoding& enc, const std::vector<InputConstraint>& ics);
+
+/// ceil(log2(n)) clamped to >= 1; the minimum code length for n states.
+int min_code_length(int n);
+
+}  // namespace nova::encoding

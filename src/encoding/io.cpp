@@ -1,0 +1,332 @@
+#include "encoding/io.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <set>
+
+namespace nova::encoding {
+
+namespace {
+
+std::vector<OutputConstraint> edges_of(
+    const std::vector<OutputCluster>& clusters, const std::vector<int>& soc,
+    const OutputCluster* extra) {
+  std::vector<OutputConstraint> out;
+  for (int i : soc) {
+    for (const auto& e : clusters[i].edges) out.push_back(e);
+  }
+  if (extra) {
+    for (const auto& e : extra->edges) out.push_back(e);
+  }
+  return out;
+}
+
+/// Drops satisfied-cluster indices whose edges no longer hold under `enc`.
+void drop_broken_clusters(const Encoding& enc,
+                          const std::vector<OutputCluster>& clusters,
+                          std::vector<int>& soc) {
+  std::vector<int> keep;
+  for (int i : soc) {
+    if (cluster_satisfied(enc, clusters[i])) keep.push_back(i);
+  }
+  soc = std::move(keep);
+}
+
+Encoding sequential_encoding(int num_states, int nbits) {
+  Encoding e;
+  e.nbits = nbits;
+  e.codes.resize(num_states);
+  for (int s = 0; s < num_states; ++s) e.codes[s] = static_cast<uint64_t>(s);
+  return e;
+}
+
+}  // namespace
+
+IoResult iohybrid_code(const std::vector<InputConstraint>& ics,
+                       const std::vector<OutputCluster>& clusters,
+                       int num_states, const HybridOptions& opts) {
+  IoResult res;
+  int min_len = min_code_length(num_states);
+  res.min_length = min_len;
+  const int nbits = std::max(opts.nbits == 0 ? min_len : opts.nbits, min_len);
+  if (opts.start_at_nbits) min_len = nbits;  // semiexact at the target length
+
+  if (ics.empty() && !clusters.empty()) {
+    std::vector<OutputConstraint> all;
+    for (const auto& c : clusters) {
+      for (const auto& e : c.edges) all.push_back(e);
+    }
+    res.enc = out_encoder(all, num_states);
+    for (size_t i = 0; i < clusters.size(); ++i) {
+      if (cluster_satisfied(res.enc, clusters[i]))
+        res.soc.push_back(static_cast<int>(i));
+    }
+    return res;
+  }
+
+  // Stage 1: input constraints, as in ihybrid_code.
+  std::vector<InputConstraint> todo = ics;
+  std::stable_sort(todo.begin(), todo.end(),
+                   [](const InputConstraint& a, const InputConstraint& b) {
+                     return a.weight > b.weight;
+                   });
+  Encoding enc;
+  bool have_enc = false;
+  for (const auto& ic : todo) {
+    std::vector<InputConstraint> trial = res.sic;
+    trial.push_back(ic);
+    EmbedOptions eo;
+    eo.max_work = opts.max_work;
+    EmbedResult er = semiexact_code(trial, num_states, min_len, eo);
+    if (er.success) {
+      enc = std::move(er.enc);
+      have_enc = true;
+      res.sic.push_back(ic);
+    } else {
+      res.ric.push_back(ic);
+    }
+  }
+
+  // Stage 2: output clusters in decreasing weight, via io_semiexact_code
+  // (the same bounded search with covering checks active).
+  std::vector<int> corder(clusters.size());
+  std::iota(corder.begin(), corder.end(), 0);
+  std::stable_sort(corder.begin(), corder.end(), [&](int a, int b) {
+    return clusters[a].weight > clusters[b].weight;
+  });
+  for (int ci : corder) {
+    if (clusters[ci].edges.empty()) continue;  // nothing to enforce
+    std::vector<OutputConstraint> cov = edges_of(clusters, res.soc,
+                                                 &clusters[ci]);
+    EmbedOptions eo;
+    eo.max_work = opts.max_work;
+    eo.coverings = &cov;
+    InputGraph ig(res.sic, num_states);
+    EmbedResult er = pos_equiv(ig, min_len, {}, eo);
+    if (er.success) {
+      enc = std::move(er.enc);
+      have_enc = true;
+      res.soc.push_back(ci);
+    }
+  }
+
+  if (!have_enc) {
+    EmbedOptions eo;
+    eo.max_work = opts.max_work;
+    EmbedResult er = semiexact_code({}, num_states, min_len, eo);
+    if (er.success) {
+      enc = std::move(er.enc);
+    } else {
+      enc = sequential_encoding(num_states, min_len);
+      res.used_random_fallback = true;
+    }
+  }
+
+  // Stage 3: projection for the remaining input constraints.
+  {
+    std::vector<InputConstraint> still;
+    for (auto& ic : res.ric) {
+      if (constraint_satisfied(enc, ic))
+        res.sic.push_back(ic);
+      else
+        still.push_back(ic);
+    }
+    res.ric = std::move(still);
+  }
+  int cube_dim = min_len;
+  while (!res.ric.empty() && cube_dim < nbits && cube_dim < 62) {
+    ++cube_dim;
+    enc = project_code(enc, res.sic, res.ric);
+    drop_broken_clusters(enc, clusters, res.soc);
+  }
+  drop_broken_clusters(enc, clusters, res.soc);
+  res.enc = std::move(enc);
+  return res;
+}
+
+IoResult iovariant_code(const std::vector<InputConstraint>& output_only_ics,
+                        const std::vector<OutputCluster>& clusters,
+                        const std::vector<std::vector<BitVec>>& cluster_ics,
+                        int num_states, const HybridOptions& opts) {
+  IoResult res;
+  int min_len = min_code_length(num_states);
+  res.min_length = min_len;
+  const int nbits = std::max(opts.nbits == 0 ? min_len : opts.nbits, min_len);
+  if (opts.start_at_nbits) min_len = nbits;  // semiexact at the target length
+
+  // IC_o first.
+  Encoding enc;
+  bool have_enc = false;
+  std::vector<InputConstraint> todo = output_only_ics;
+  std::stable_sort(todo.begin(), todo.end(),
+                   [](const InputConstraint& a, const InputConstraint& b) {
+                     return a.weight > b.weight;
+                   });
+  for (const auto& ic : todo) {
+    std::vector<InputConstraint> trial = res.sic;
+    trial.push_back(ic);
+    EmbedOptions eo;
+    eo.max_work = opts.max_work;
+    EmbedResult er = semiexact_code(trial, num_states, min_len, eo);
+    if (er.success) {
+      enc = std::move(er.enc);
+      have_enc = true;
+      res.sic.push_back(ic);
+    } else {
+      res.ric.push_back(ic);
+    }
+  }
+
+  // Clusters with their companion IC_i.
+  std::vector<int> corder(clusters.size());
+  std::iota(corder.begin(), corder.end(), 0);
+  std::stable_sort(corder.begin(), corder.end(), [&](int a, int b) {
+    return clusters[a].weight > clusters[b].weight;
+  });
+  for (int ci : corder) {
+    std::vector<InputConstraint> trial = res.sic;
+    std::vector<InputConstraint> added;
+    if (ci < static_cast<int>(cluster_ics.size())) {
+      for (const BitVec& s : cluster_ics[ci]) {
+        bool dup = false;
+        for (const auto& t : trial) dup = dup || t.states == s;
+        if (!dup) {
+          added.push_back({s, 1});
+          trial.push_back({s, 1});
+        }
+      }
+    }
+    std::vector<OutputConstraint> cov = edges_of(clusters, res.soc,
+                                                 &clusters[ci]);
+    EmbedOptions eo;
+    eo.max_work = opts.max_work;
+    eo.coverings = &cov;
+    InputGraph ig(trial, num_states);
+    EmbedResult er = pos_equiv(ig, min_len, {}, eo);
+    if (er.success) {
+      enc = std::move(er.enc);
+      have_enc = true;
+      for (auto& a : added) res.sic.push_back(a);
+      res.soc.push_back(ci);
+    } else {
+      for (auto& a : added) res.ric.push_back(a);
+    }
+  }
+
+  if (!have_enc) {
+    EmbedOptions eo;
+    eo.max_work = opts.max_work;
+    EmbedResult er = semiexact_code({}, num_states, min_len, eo);
+    if (er.success)
+      enc = std::move(er.enc);
+    else {
+      enc = sequential_encoding(num_states, min_len);
+      res.used_random_fallback = true;
+    }
+  }
+
+  int cube_dim = min_len;
+  while (!res.ric.empty() && cube_dim < nbits && cube_dim < 62) {
+    ++cube_dim;
+    enc = project_code(enc, res.sic, res.ric);
+    drop_broken_clusters(enc, clusters, res.soc);
+  }
+  drop_broken_clusters(enc, clusters, res.soc);
+  res.enc = std::move(enc);
+  return res;
+}
+
+Encoding out_encoder(const std::vector<OutputConstraint>& ocs,
+                     int num_states) {
+  // Codes are built with one candidate column per state; beyond the word
+  // width we fall back to a plain injective code (documented limitation --
+  // out_encoder is only reached when there are no input constraints at all).
+  if (num_states > 60) {
+    return sequential_encoding(num_states, min_code_length(num_states));
+  }
+  // code(u) = own_bit(u) | OR of code(v) over edges (u covers v), computed
+  // in topological order; then greedily drop bit columns that are not
+  // needed for injectivity or covering-strictness.
+  std::vector<std::vector<int>> covers(num_states);  // u -> covered v's
+  std::vector<int> indeg(num_states, 0);             // # of u covering v? no:
+  // Topological order: v must be coded before u when (u covers v).
+  std::vector<std::vector<int>> dep(num_states);  // u depends on v
+  std::vector<int> ndep(num_states, 0);
+  for (const auto& e : ocs) {
+    dep[e.covered].push_back(e.covering);
+    ++ndep[e.covering];
+    covers[e.covering].push_back(e.covered);
+  }
+  (void)indeg;
+  std::vector<int> order;
+  std::vector<int> q;
+  for (int s = 0; s < num_states; ++s) {
+    if (ndep[s] == 0) q.push_back(s);
+  }
+  while (!q.empty()) {
+    int v = q.back();
+    q.pop_back();
+    order.push_back(v);
+    for (int u : dep[v]) {
+      if (--ndep[u] == 0) q.push_back(u);
+    }
+  }
+  // Cycles (shouldn't happen for a DAG): append the rest in index order.
+  if (static_cast<int>(order.size()) < num_states) {
+    std::vector<char> seen(num_states, 0);
+    for (int s : order) seen[s] = 1;
+    for (int s = 0; s < num_states; ++s) {
+      if (!seen[s]) order.push_back(s);
+    }
+  }
+
+  const int nb = num_states;  // one own-bit per state, compacted below
+  std::vector<uint64_t> codes(num_states, 0);
+  for (int s : order) {
+    uint64_t c = uint64_t{1} << s;
+    for (int v : covers[s]) c |= codes[v];
+    codes[s] = c;
+  }
+  // Column compaction: drop a column when removing it keeps codes distinct
+  // and covering relations strict.
+  std::vector<int> cols;
+  for (int b = 0; b < nb; ++b) cols.push_back(b);
+  auto project_ok = [&](const std::vector<int>& keep) {
+    std::set<uint64_t> seen;
+    auto proj = [&](uint64_t c) {
+      uint64_t r = 0;
+      for (size_t i = 0; i < keep.size(); ++i) {
+        if ((c >> keep[i]) & 1) r |= uint64_t{1} << i;
+      }
+      return r;
+    };
+    for (int s = 0; s < num_states; ++s) {
+      if (!seen.insert(proj(codes[s])).second) return false;
+    }
+    for (const auto& e : ocs) {
+      uint64_t u = proj(codes[e.covering]), v = proj(codes[e.covered]);
+      if ((u | v) != u || u == v) return false;
+    }
+    return true;
+  };
+  for (int b = nb - 1; b >= 0; --b) {
+    std::vector<int> trial;
+    for (int c : cols) {
+      if (c != b) trial.push_back(c);
+    }
+    if (!trial.empty() && project_ok(trial)) cols = trial;
+  }
+  Encoding enc;
+  enc.nbits = static_cast<int>(cols.size());
+  enc.codes.resize(num_states);
+  for (int s = 0; s < num_states; ++s) {
+    uint64_t r = 0;
+    for (size_t i = 0; i < cols.size(); ++i) {
+      if ((codes[s] >> cols[i]) & 1) r |= uint64_t{1} << i;
+    }
+    enc.codes[s] = r;
+  }
+  return enc;
+}
+
+}  // namespace nova::encoding

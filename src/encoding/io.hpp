@@ -1,0 +1,39 @@
+// Encoding under simultaneous input and output (covering) constraints:
+// iohybrid_code and iovariant_code (paper section 6.2), plus the
+// output-constraints-only out_encoder.
+#pragma once
+
+#include "encoding/hybrid.hpp"
+
+namespace nova::encoding {
+
+struct IoResult {
+  Encoding enc;
+  std::vector<InputConstraint> sic;
+  std::vector<InputConstraint> ric;
+  std::vector<int> soc;  ///< indices into `clusters` of satisfied clusters
+  int min_length = 0;
+  bool used_random_fallback = false;
+};
+
+/// Input-biased algorithm (6.2.1): first satisfy as many input constraints
+/// as possible at the minimum code length, then greedily add output
+/// clusters in decreasing weight, then project for the remaining inputs.
+IoResult iohybrid_code(const std::vector<InputConstraint>& ics,
+                       const std::vector<OutputCluster>& clusters,
+                       int num_states, const HybridOptions& opts = {});
+
+/// Cluster-paired variant (6.2.2): each cluster is accepted only when its
+/// output constraints AND companion input constraints IC_i are satisfiable
+/// together; IC_o is handled first.
+IoResult iovariant_code(const std::vector<InputConstraint>& output_only_ics,
+                        const std::vector<OutputCluster>& clusters,
+                        const std::vector<std::vector<BitVec>>& cluster_ics,
+                        int num_states, const HybridOptions& opts = {});
+
+/// Output-constraints-only encoder: codes satisfying every covering edge
+/// (code(u) covers code(v), codes injective). Greedy: own-bit plus the OR of
+/// covered codes, followed by a column-compaction pass.
+Encoding out_encoder(const std::vector<OutputConstraint>& ocs, int num_states);
+
+}  // namespace nova::encoding

@@ -1,0 +1,112 @@
+#include "encoding/polish.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace nova::encoding {
+
+namespace {
+
+int satisfied_weight(const Encoding& enc,
+                     const std::vector<InputConstraint>& ics) {
+  int w = 0;
+  for (const auto& ic : ics) {
+    if (constraint_satisfied(enc, ic)) w += ic.weight;
+  }
+  return w;
+}
+
+}  // namespace
+
+PolishResult polish_encoding(Encoding& enc,
+                             const std::vector<InputConstraint>& ics,
+                             const PolishOptions& opts) {
+  PolishResult res;
+  res.weight_before = satisfied_weight(enc, ics);
+  res.weight_after = res.weight_before;
+  // The free-code table is dense: bail out on very wide codes.
+  if (ics.empty() || enc.nbits > 16) return res;
+  const int n = enc.num_states();
+  const uint64_t space = uint64_t{1} << enc.nbits;
+
+  std::vector<int> order(ics.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+    return ics[a].weight > ics[b].weight;
+  });
+
+  int cur = res.weight_before;
+  for (int pass = 0; pass < opts.max_passes; ++pass) {
+    bool improved = false;
+    // Free codes (recomputed per pass; moves keep this nearly fresh).
+    std::vector<char> used(space, 0);
+    for (uint64_t c : enc.codes) used[c] = 1;
+
+    for (int oi : order) {
+      const auto& ic = ics[oi];
+      if (constraint_satisfied(enc, ic)) continue;
+      // The face spanned by the member codes and its intruders.
+      std::vector<uint64_t> members;
+      for (int s = ic.states.first(); s >= 0; s = ic.states.next(s + 1))
+        members.push_back(enc.codes[s]);
+      auto face = supercube_face(members, enc.nbits);
+      if (!face) continue;
+      for (int s = 0; s < n; ++s) {
+        if (ic.states.get(s)) continue;
+        if (!face->contains_code(enc.codes[s])) continue;
+        // Intruder s: try relocating it to a free code outside the face.
+        bool moved = false;
+        for (uint64_t c = 0; c < space && !moved; ++c) {
+          if (used[c] || face->contains_code(c)) continue;
+          uint64_t old = enc.codes[s];
+          enc.codes[s] = c;
+          int w = satisfied_weight(enc, ics);
+          if (w > cur) {
+            cur = w;
+            used[old] = 0;
+            used[c] = 1;
+            ++res.moves;
+            moved = true;
+            improved = true;
+          } else {
+            enc.codes[s] = old;
+          }
+        }
+        // Or swapping it with a member (pulls the face tighter elsewhere).
+        for (int t = ic.states.first(); t >= 0 && !moved;
+             t = ic.states.next(t + 1)) {
+          std::swap(enc.codes[s], enc.codes[t]);
+          int w = satisfied_weight(enc, ics);
+          if (w > cur) {
+            cur = w;
+            ++res.moves;
+            moved = true;
+            improved = true;
+          } else {
+            std::swap(enc.codes[s], enc.codes[t]);
+          }
+        }
+        // Or with any other non-member state outside the face.
+        for (int t = 0; t < n && !moved; ++t) {
+          if (t == s || ic.states.get(t)) continue;
+          if (face->contains_code(enc.codes[t])) continue;
+          std::swap(enc.codes[s], enc.codes[t]);
+          int w = satisfied_weight(enc, ics);
+          if (w > cur) {
+            cur = w;
+            ++res.moves;
+            moved = true;
+            improved = true;
+          } else {
+            std::swap(enc.codes[s], enc.codes[t]);
+          }
+        }
+      }
+    }
+    if (!improved) break;
+  }
+  res.weight_after = cur;
+  return res;
+}
+
+}  // namespace nova::encoding

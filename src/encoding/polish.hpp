@@ -1,0 +1,31 @@
+// Satisfaction-directed local improvement of an encoding.
+//
+// Targeted repair: for each unsatisfied constraint (heaviest first), find
+// the non-member codes lying inside the face spanned by its members and try
+// to swap them with free codes or with other states outside the face. A
+// move is kept only when the total satisfied weight strictly increases.
+// This is a cheap post-pass (no logic minimization involved) that recovers
+// much of what the bounded embedding search leaves on the table at the
+// minimum code length.
+#pragma once
+
+#include "encoding/encoding.hpp"
+
+namespace nova::encoding {
+
+struct PolishOptions {
+  int max_passes = 8;
+};
+
+struct PolishResult {
+  int moves = 0;
+  int weight_before = 0;
+  int weight_after = 0;
+};
+
+/// Improves `enc` in place; returns what changed.
+PolishResult polish_encoding(Encoding& enc,
+                             const std::vector<InputConstraint>& ics,
+                             const PolishOptions& opts = {});
+
+}  // namespace nova::encoding

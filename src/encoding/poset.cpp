@@ -1,0 +1,214 @@
+#include "encoding/poset.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "encoding/encoding.hpp"
+
+namespace nova::encoding {
+
+int PosetNode::min_level() const {
+  int c = cardinality();
+  int l = 0;
+  while ((1 << l) < c) ++l;
+  return l;
+}
+
+InputGraph::InputGraph(const std::vector<InputConstraint>& ics,
+                       int num_states)
+    : num_states_(num_states) {
+  // Collect distinct non-trivial sets.
+  std::map<BitVec, bool> sets;  // value unused
+  for (const auto& ic : ics) {
+    int c = ic.states.count();
+    if (c >= 2 && c < num_states) sets.emplace(ic.states, true);
+  }
+  // Closure under pairwise intersection, to a fixpoint.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    std::vector<BitVec> cur;
+    cur.reserve(sets.size());
+    for (auto& [s, v] : sets) cur.push_back(s);
+    for (size_t i = 0; i < cur.size(); ++i) {
+      for (size_t j = i + 1; j < cur.size(); ++j) {
+        BitVec m = cur[i] & cur[j];
+        if (m.count() >= 2 && sets.emplace(m, true).second) changed = true;
+      }
+    }
+  }
+  // Universe, constraints, singletons.
+  BitVec uni(num_states);
+  uni.set_all();
+  nodes_.push_back({uni, {}, {}, 0});
+  universe_ = 0;
+  for (auto& [s, v] : sets) {
+    if (s == uni) continue;
+    nodes_.push_back({s, {}, {}, 0});
+  }
+  singleton_.resize(num_states);
+  for (int s = 0; s < num_states; ++s) {
+    BitVec b(num_states);
+    b.set(s);
+    int idx = find(b);
+    if (idx < 0) {
+      nodes_.push_back({b, {}, {}, 0});
+      idx = size() - 1;
+    }
+    singleton_[s] = idx;
+  }
+  // Fathers: minimal strict supersets. Order candidate supersets by
+  // cardinality so minimality is a simple filter.
+  for (int i = 0; i < size(); ++i) {
+    std::vector<int> supers;
+    for (int j = 0; j < size(); ++j) {
+      if (i == j) continue;
+      if (nodes_[j].set.contains(nodes_[i].set) &&
+          nodes_[j].set != nodes_[i].set)
+        supers.push_back(j);
+    }
+    for (int a : supers) {
+      bool minimal = true;
+      for (int b : supers) {
+        if (b == a) continue;
+        if (nodes_[a].set.contains(nodes_[b].set) &&
+            nodes_[a].set != nodes_[b].set) {
+          minimal = false;
+          break;
+        }
+      }
+      if (minimal) {
+        nodes_[i].fathers.push_back(a);
+        nodes_[a].children.push_back(i);
+      }
+    }
+  }
+  // Categories.
+  for (int i = 0; i < size(); ++i) {
+    if (i == universe_) {
+      nodes_[i].category = 0;
+    } else if (nodes_[i].fathers.size() > 1) {
+      nodes_[i].category = 2;
+    } else if (nodes_[i].fathers.size() == 1 &&
+               nodes_[i].fathers[0] == universe_) {
+      nodes_[i].category = 1;
+    } else {
+      nodes_[i].category = 3;
+    }
+  }
+  // Primary constraints (category 1, cardinality >= 2), largest first.
+  for (int i = 0; i < size(); ++i) {
+    if (nodes_[i].category == 1 && nodes_[i].cardinality() >= 2)
+      primaries_.push_back(i);
+  }
+  std::stable_sort(primaries_.begin(), primaries_.end(), [&](int a, int b) {
+    return nodes_[a].cardinality() > nodes_[b].cardinality();
+  });
+}
+
+int InputGraph::find(const BitVec& s) const {
+  for (int i = 0; i < size(); ++i) {
+    if (nodes_[i].set == s) return i;
+  }
+  return -1;
+}
+
+namespace {
+
+int minpow2(int c) {
+  int p = 1;
+  while (p < c) p <<= 1;
+  return p;
+}
+
+/// Number of faces of the k-cube with level >= l: sum_{L>=l} C(k,L) 2^(k-L).
+/// Saturates to avoid overflow.
+long long faces_at_least_level(int k, int l) {
+  long long total = 0;
+  for (int L = l; L <= k; ++L) {
+    // C(k, L)
+    long long c = 1;
+    for (int i = 0; i < L; ++i) c = c * (k - i) / (i + 1);
+    long long f = c << (k - L);
+    total += f;
+    if (total > (1LL << 50)) return 1LL << 50;
+  }
+  return total;
+}
+
+int count_cond1(const InputGraph& ig, int k) {
+  // For each level l: #nodes needing a face of level >= l must not exceed
+  // the number of faces of level >= l (the map is injective).
+  while (true) {
+    bool ok = true;
+    for (int l = 0; l <= k && ok; ++l) {
+      long long need = 0;
+      for (int i = 0; i < ig.size(); ++i) {
+        if (i == ig.universe()) continue;
+        if (ig.node(i).min_level() >= l) ++need;
+      }
+      if (need > faces_at_least_level(k, l)) ok = false;
+    }
+    if (ok) return k;
+    ++k;
+  }
+}
+
+int count_cond2(const InputGraph& ig, int k) {
+  // A face of level l in the k-cube has exactly k - l minimal including
+  // faces; the node's fathers must all fit among them.
+  for (int i = 0; i < ig.size(); ++i) {
+    if (i == ig.universe()) continue;
+    int need = static_cast<int>(ig.node(i).fathers.size()) +
+               ig.node(i).min_level();
+    k = std::max(k, need);
+  }
+  return k;
+}
+
+int count_cond3(const InputGraph& ig, int k) {
+  // Virtual states introduced by uneven constraints, packed as densely as
+  // possible: at most `k` constraints may share one virtual state.
+  std::vector<int> vrt;
+  for (int i = 0; i < ig.size(); ++i) {
+    if (i == ig.universe()) continue;
+    int c = ig.node(i).cardinality();
+    if (c >= 2 && minpow2(c) != c) vrt.push_back(minpow2(c) - c);
+  }
+  if (vrt.empty()) return k;
+  const int n = ig.num_states();
+  while (true) {
+    std::vector<int> v = vrt;
+    std::sort(v.begin(), v.end());
+    long long iter_count = 0;
+    bool nonzero = true;
+    while (nonzero) {
+      nonzero = false;
+      std::sort(v.begin(), v.end());
+      int dec = 0;
+      for (auto& x : v) {
+        if (x > 0 && dec < k) {
+          --x;
+          ++dec;
+        }
+        if (x > 0) nonzero = true;
+      }
+      if (dec > 0) ++iter_count;
+      if (iter_count > (1LL << 20)) break;  // defensive
+    }
+    if ((1LL << k) - n >= iter_count) return k;
+    ++k;
+  }
+}
+
+}  // namespace
+
+int mincube_dim(const InputGraph& ig) {
+  int k = min_code_length(ig.num_states());
+  k = count_cond1(ig, k);
+  k = count_cond2(ig, k);
+  k = count_cond3(ig, k);
+  return k;
+}
+
+}  // namespace nova::encoding

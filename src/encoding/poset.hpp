@@ -1,0 +1,67 @@
+// The input poset of a face-hypercube-embedding instance (paper 3.1-3.2).
+//
+// Nodes are the intersection closure of the input constraints, augmented by
+// the singletons and the universe; edges are the father/children relations
+// of the Hasse diagram. Each node carries the paper's category:
+//   1 (primary): single father, which is the universe
+//   2: more than one father (its face is forced: the intersection of the
+//      fathers' faces)
+//   3: single father which is not the universe
+// The universe itself has category 0.
+#pragma once
+
+#include <vector>
+
+#include "constraints/constraints.hpp"
+#include "util/bitvec.hpp"
+
+namespace nova::encoding {
+
+using constraints::InputConstraint;
+using util::BitVec;
+
+struct PosetNode {
+  BitVec set;
+  std::vector<int> fathers;
+  std::vector<int> children;
+  int category = 0;
+
+  int cardinality() const { return set.count(); }
+  /// Minimum face level that can hold the node: ceil(log2(cardinality)).
+  int min_level() const;
+};
+
+class InputGraph {
+ public:
+  /// Builds the closure poset for the given constraints over `num_states`
+  /// states. Trivial constraints (cardinality < 2 or = num_states) are
+  /// ignored; singletons and the universe are always present.
+  InputGraph(const std::vector<InputConstraint>& ics, int num_states);
+
+  int num_states() const { return num_states_; }
+  int size() const { return static_cast<int>(nodes_.size()); }
+  const PosetNode& node(int i) const { return nodes_[i]; }
+  const std::vector<PosetNode>& nodes() const { return nodes_; }
+  int universe() const { return universe_; }
+  /// Node index of the singleton {s}.
+  int singleton(int s) const { return singleton_[s]; }
+  /// Node index whose set equals `s`, or -1.
+  int find(const BitVec& s) const;
+
+  /// Indices of primary (category-1, cardinality >= 2) nodes, in the order
+  /// used by the primary level vector (descending cardinality).
+  const std::vector<int>& primaries() const { return primaries_; }
+
+ private:
+  int num_states_ = 0;
+  int universe_ = -1;
+  std::vector<PosetNode> nodes_;
+  std::vector<int> singleton_;
+  std::vector<int> primaries_;
+};
+
+/// Lower bound on the embedding-cube dimension (paper 3.3.2): the maximum of
+/// the three counting arguments and ceil(log2(num_states)).
+int mincube_dim(const InputGraph& ig);
+
+}  // namespace nova::encoding

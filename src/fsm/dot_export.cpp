@@ -1,0 +1,46 @@
+#include "fsm/dot_export.hpp"
+
+#include <sstream>
+
+namespace nova::fsm {
+
+namespace {
+std::string quote(const std::string& s) { return "\"" + s + "\""; }
+}  // namespace
+
+std::string to_dot(const Fsm& fsm) {
+  std::ostringstream out;
+  out << "digraph " << (fsm.name().empty() ? "fsm" : fsm.name()) << " {\n";
+  out << "  rankdir=LR;\n";
+  for (int s = 0; s < fsm.num_states(); ++s) {
+    out << "  " << quote(fsm.state_name(s));
+    if (s == fsm.reset_state()) out << " [peripheries=2]";
+    out << ";\n";
+  }
+  for (const auto& t : fsm.transitions()) {
+    std::string from = t.present < 0 ? "*" : fsm.state_name(t.present);
+    std::string to = t.next < 0 ? "*" : fsm.state_name(t.next);
+    out << "  " << quote(from) << " -> " << quote(to) << " [label="
+        << quote(t.input + "/" + t.output) << "];\n";
+  }
+  out << "}\n";
+  return out.str();
+}
+
+std::string covering_dag_to_dot(
+    const Fsm& fsm,
+    const std::vector<constraints::OutputCluster>& clusters) {
+  std::ostringstream out;
+  out << "digraph covering {\n";
+  for (const auto& c : clusters) {
+    for (const auto& e : c.edges) {
+      out << "  " << quote(fsm.state_name(e.covering)) << " -> "
+          << quote(fsm.state_name(e.covered)) << " [label=\"w="
+          << c.weight << "\"];\n";
+    }
+  }
+  out << "}\n";
+  return out.str();
+}
+
+}  // namespace nova::fsm

@@ -1,0 +1,22 @@
+// Graphviz export of a state transition graph (and of the covering DAG
+// produced by symbolic minimization) for documentation and debugging.
+#pragma once
+
+#include <string>
+
+#include "constraints/constraints.hpp"
+#include "fsm/fsm.hpp"
+
+namespace nova::fsm {
+
+/// DOT digraph of the FSM: one edge per transition, labeled
+/// "input/output"; the reset state is drawn doubled.
+std::string to_dot(const Fsm& fsm);
+
+/// DOT digraph of output covering clusters: edge u -> v means
+/// code(u) must bit-wise cover code(v); edges carry the cluster gain.
+std::string covering_dag_to_dot(
+    const Fsm& fsm,
+    const std::vector<constraints::OutputCluster>& clusters);
+
+}  // namespace nova::fsm

@@ -1,0 +1,132 @@
+#include "fsm/fsm.hpp"
+
+#include <queue>
+#include <stdexcept>
+
+namespace nova::fsm {
+
+namespace {
+bool valid_pattern(const std::string& p, int width) {
+  if (static_cast<int>(p.size()) != width) return false;
+  for (char c : p) {
+    if (c != '0' && c != '1' && c != '-') return false;
+  }
+  return true;
+}
+
+bool pattern_matches(const std::string& pattern, const std::string& bits) {
+  if (pattern.size() != bits.size()) return false;
+  for (size_t i = 0; i < pattern.size(); ++i) {
+    if (pattern[i] != '-' && pattern[i] != bits[i]) return false;
+  }
+  return true;
+}
+}  // namespace
+
+bool input_patterns_intersect(const std::string& a, const std::string& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if ((a[i] == '0' && b[i] == '1') || (a[i] == '1' && b[i] == '0'))
+      return false;
+  }
+  return true;
+}
+
+int Fsm::intern_state(const std::string& name) {
+  auto it = state_index_.find(name);
+  if (it != state_index_.end()) return it->second;
+  int idx = num_states();
+  state_index_.emplace(name, idx);
+  state_names_.push_back(name);
+  return idx;
+}
+
+std::optional<int> Fsm::find_state(const std::string& name) const {
+  auto it = state_index_.find(name);
+  if (it == state_index_.end()) return std::nullopt;
+  return it->second;
+}
+
+void Fsm::add_transition(const std::string& input, int present, int next,
+                         const std::string& output) {
+  if (!valid_pattern(input, num_inputs_))
+    throw std::invalid_argument("bad input pattern: '" + input + "'");
+  if (!valid_pattern(output, num_outputs_))
+    throw std::invalid_argument("bad output pattern: '" + output + "'");
+  if (present < -1 || present >= num_states())
+    throw std::invalid_argument("bad present state index");
+  if (next < -1 || next >= num_states())
+    throw std::invalid_argument("bad next state index");
+  transitions_.push_back({input, present, next, output});
+}
+
+void Fsm::add_transition(const std::string& input, const std::string& present,
+                         const std::string& next, const std::string& output) {
+  int p = present == "*" ? -1 : intern_state(present);
+  int n = next == "*" ? -1 : intern_state(next);
+  add_transition(input, p, n, output);
+}
+
+std::optional<std::pair<int, std::string>> Fsm::step(
+    int state, const std::string& input_bits) const {
+  for (const Transition& t : transitions_) {
+    if (t.present != -1 && t.present != state) continue;
+    if (!pattern_matches(t.input, input_bits)) continue;
+    return std::make_pair(t.next, t.output);
+  }
+  return std::nullopt;
+}
+
+std::vector<bool> Fsm::reachable_states() const {
+  std::vector<bool> seen(num_states(), false);
+  if (num_states() == 0) return seen;
+  std::queue<int> q;
+  int r = reset_state_ >= 0 && reset_state_ < num_states() ? reset_state_ : 0;
+  seen[r] = true;
+  q.push(r);
+  while (!q.empty()) {
+    int s = q.front();
+    q.pop();
+    for (const Transition& t : transitions_) {
+      if ((t.present == s || t.present == -1) && t.next >= 0 && !seen[t.next]) {
+        seen[t.next] = true;
+        q.push(t.next);
+      }
+    }
+  }
+  return seen;
+}
+
+std::vector<Fsm::ValidationIssue> Fsm::validate() const {
+  std::vector<ValidationIssue> issues;
+  const auto& ts = transitions_;
+  for (size_t i = 0; i < ts.size(); ++i) {
+    for (size_t j = i + 1; j < ts.size(); ++j) {
+      bool same_state = ts[i].present == ts[j].present ||
+                        ts[i].present == -1 || ts[j].present == -1;
+      if (!same_state) continue;
+      if (!input_patterns_intersect(ts[i].input, ts[j].input)) continue;
+      bool conflict = ts[i].next != ts[j].next && ts[i].next != -1 &&
+                      ts[j].next != -1;
+      for (size_t k = 0; k < ts[i].output.size() && !conflict; ++k) {
+        char a = ts[i].output[k], b = ts[j].output[k];
+        conflict = (a == '0' && b == '1') || (a == '1' && b == '0');
+      }
+      if (conflict) {
+        issues.push_back({ValidationIssue::kNondeterministic,
+                          "rows " + std::to_string(i) + " and " +
+                              std::to_string(j) + " conflict"});
+      }
+    }
+  }
+  auto seen = reachable_states();
+  for (int s = 0; s < num_states(); ++s) {
+    if (!seen[s]) {
+      issues.push_back(
+          {ValidationIssue::kUnreachableState, state_names_[s]});
+    }
+  }
+  return issues;
+}
+
+}  // namespace nova::fsm

@@ -1,0 +1,88 @@
+// Finite state machine model: a state transition table over binary primary
+// inputs/outputs and symbolic states (KISS2 semantics).
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace nova::fsm {
+
+/// One row of the state transition table.
+struct Transition {
+  std::string input;  ///< pattern over primary inputs: '0', '1', '-'
+  int present = -1;   ///< present-state index; -1 encodes KISS2 '*' (any)
+  int next = -1;      ///< next-state index; -1 encodes unspecified next state
+  std::string output;  ///< pattern over primary outputs: '0', '1', '-'
+};
+
+class Fsm {
+ public:
+  Fsm() = default;
+  Fsm(int num_inputs, int num_outputs)
+      : num_inputs_(num_inputs), num_outputs_(num_outputs) {}
+
+  int num_inputs() const { return num_inputs_; }
+  int num_outputs() const { return num_outputs_; }
+  int num_states() const { return static_cast<int>(state_names_.size()); }
+  int num_transitions() const { return static_cast<int>(transitions_.size()); }
+
+  const std::vector<Transition>& transitions() const { return transitions_; }
+  const std::vector<std::string>& state_names() const { return state_names_; }
+  const std::string& state_name(int i) const { return state_names_[i]; }
+
+  int reset_state() const { return reset_state_; }
+  void set_reset_state(int s) { reset_state_ = s; }
+
+  const std::string& name() const { return name_; }
+  void set_name(std::string n) { name_ = std::move(n); }
+
+  /// Returns the index of the named state, interning it if new.
+  int intern_state(const std::string& name);
+
+  /// Returns the index of the named state or nullopt if unknown.
+  std::optional<int> find_state(const std::string& name) const;
+
+  /// Appends a transition row. Patterns must match num_inputs/num_outputs;
+  /// throws std::invalid_argument otherwise.
+  void add_transition(const std::string& input, int present, int next,
+                      const std::string& output);
+
+  /// Convenience overload interning state names.
+  void add_transition(const std::string& input, const std::string& present,
+                      const std::string& next, const std::string& output);
+
+  /// Single-step simulation: returns (next_state, output pattern) for a fully
+  /// specified binary input vector, or nullopt if no row matches. Output
+  /// don't-cares are returned as '-'. The first matching row wins.
+  std::optional<std::pair<int, std::string>> step(
+      int state, const std::string& input_bits) const;
+
+  struct ValidationIssue {
+    enum Kind { kNondeterministic, kUnreachableState, kBadPattern } kind;
+    std::string detail;
+  };
+
+  /// Structural checks: pattern widths, conflicting transitions (same present
+  /// state, overlapping input cubes, different next state or conflicting
+  /// outputs), unreachable states.
+  std::vector<ValidationIssue> validate() const;
+
+  /// States reachable from the reset state through transitions.
+  std::vector<bool> reachable_states() const;
+
+ private:
+  int num_inputs_ = 0;
+  int num_outputs_ = 0;
+  int reset_state_ = 0;
+  std::string name_;
+  std::vector<std::string> state_names_;
+  std::map<std::string, int> state_index_;
+  std::vector<Transition> transitions_;
+};
+
+/// True iff the two input patterns (over '0','1','-') intersect.
+bool input_patterns_intersect(const std::string& a, const std::string& b);
+
+}  // namespace nova::fsm

@@ -1,0 +1,131 @@
+#include "fsm/kiss_io.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+namespace nova::fsm {
+
+namespace {
+[[noreturn]] void fail(int line, const std::string& msg) {
+  throw std::runtime_error("kiss parse error at line " + std::to_string(line) +
+                           ": " + msg);
+}
+}  // namespace
+
+Fsm parse_kiss(std::istream& in, const std::string& name) {
+  int ni = -1, no = -1, np = -1, ns = -1;
+  std::string reset_name;
+  struct Row {
+    std::string in, ps, ns, out;
+    int line;
+  };
+  std::vector<Row> rows;
+
+  std::string line;
+  int lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    // Strip comments and whitespace.
+    auto hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    std::istringstream ss(line);
+    std::string tok;
+    if (!(ss >> tok)) continue;
+    if (tok == ".i") {
+      if (!(ss >> ni) || ni < 0) fail(lineno, "bad .i");
+    } else if (tok == ".o") {
+      if (!(ss >> no) || no < 0) fail(lineno, "bad .o");
+    } else if (tok == ".p") {
+      if (!(ss >> np)) fail(lineno, "bad .p");
+    } else if (tok == ".s") {
+      if (!(ss >> ns)) fail(lineno, "bad .s");
+    } else if (tok == ".r") {
+      if (!(ss >> reset_name)) fail(lineno, "bad .r");
+    } else if (tok == ".e" || tok == ".end") {
+      break;
+    } else if (tok[0] == '.') {
+      // Unknown dot-directive: ignore (e.g. .ilb/.ob labels).
+      continue;
+    } else {
+      Row r;
+      r.in = tok;
+      if (!(ss >> r.ps >> r.ns >> r.out))
+        fail(lineno, "transition needs 4 fields");
+      r.line = lineno;
+      rows.push_back(std::move(r));
+    }
+  }
+  if (ni < 0 || no < 0) fail(lineno, "missing .i or .o");
+
+  Fsm fsm(ni, no);
+  fsm.set_name(name);
+  // Intern present states first (in order of appearance), then next states:
+  // this matches the convention that state numbering follows the table.
+  for (const Row& r : rows) {
+    if (r.ps != "*") fsm.intern_state(r.ps);
+  }
+  for (const Row& r : rows) {
+    if (r.ns != "*") fsm.intern_state(r.ns);
+  }
+  for (const Row& r : rows) {
+    try {
+      fsm.add_transition(r.in, r.ps, r.ns, r.out);
+    } catch (const std::invalid_argument& e) {
+      fail(r.line, e.what());
+    }
+  }
+  if (!reset_name.empty()) {
+    auto s = fsm.find_state(reset_name);
+    if (!s) fail(lineno, "unknown reset state " + reset_name);
+    fsm.set_reset_state(*s);
+  }
+  if (ns >= 0 && ns != fsm.num_states())
+    fail(lineno, ".s says " + std::to_string(ns) + " states, table has " +
+                     std::to_string(fsm.num_states()));
+  if (np >= 0 && np != fsm.num_transitions())
+    fail(lineno, ".p says " + std::to_string(np) + " terms, table has " +
+                     std::to_string(fsm.num_transitions()));
+  return fsm;
+}
+
+Fsm parse_kiss_string(const std::string& text, const std::string& name) {
+  std::istringstream ss(text);
+  return parse_kiss(ss, name);
+}
+
+Fsm parse_kiss_file(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) throw std::runtime_error("cannot open " + path);
+  // Derive a name from the file stem.
+  auto slash = path.find_last_of('/');
+  std::string stem = slash == std::string::npos ? path : path.substr(slash + 1);
+  auto dot = stem.find_last_of('.');
+  if (dot != std::string::npos) stem.erase(dot);
+  return parse_kiss(f, stem);
+}
+
+void write_kiss(const Fsm& fsm, std::ostream& out) {
+  out << ".i " << fsm.num_inputs() << "\n";
+  out << ".o " << fsm.num_outputs() << "\n";
+  out << ".p " << fsm.num_transitions() << "\n";
+  out << ".s " << fsm.num_states() << "\n";
+  if (fsm.num_states() > 0)
+    out << ".r " << fsm.state_name(fsm.reset_state()) << "\n";
+  for (const Transition& t : fsm.transitions()) {
+    out << t.input << ' '
+        << (t.present == -1 ? std::string("*") : fsm.state_name(t.present))
+        << ' ' << (t.next == -1 ? std::string("*") : fsm.state_name(t.next))
+        << ' ' << t.output << "\n";
+  }
+  out << ".e\n";
+}
+
+std::string write_kiss_string(const Fsm& fsm) {
+  std::ostringstream ss;
+  write_kiss(fsm, ss);
+  return ss.str();
+}
+
+}  // namespace nova::fsm

@@ -1,0 +1,32 @@
+// KISS2 state-transition-table reader and writer.
+//
+// Grammar (the subset used by the MCNC benchmarks):
+//   .i N      number of primary inputs
+//   .o N      number of primary outputs
+//   .p N      number of product terms (optional, checked when present)
+//   .s N      number of states (optional, checked when present)
+//   .r NAME   reset state (optional; defaults to the first present state)
+//   <input> <present> <next> <output>   one transition per line
+//   .e / .end terminator (optional)
+// '#' starts a comment; '*' as a state name means "any"/"unspecified".
+#pragma once
+
+#include <istream>
+#include <ostream>
+#include <string>
+
+#include "fsm/fsm.hpp"
+
+namespace nova::fsm {
+
+/// Parses KISS2 text. Throws std::runtime_error with a line-numbered message
+/// on malformed input.
+Fsm parse_kiss(std::istream& in, const std::string& name = "");
+Fsm parse_kiss_string(const std::string& text, const std::string& name = "");
+Fsm parse_kiss_file(const std::string& path);
+
+/// Writes KISS2 text (round-trips with parse_kiss).
+void write_kiss(const Fsm& fsm, std::ostream& out);
+std::string write_kiss_string(const Fsm& fsm);
+
+}  // namespace nova::fsm

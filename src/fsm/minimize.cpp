@@ -1,0 +1,111 @@
+#include "fsm/minimize.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace nova::fsm {
+
+namespace {
+std::string input_bits(unsigned m, int n) {
+  std::string s(n, '0');
+  for (int i = 0; i < n; ++i) {
+    if ((m >> i) & 1) s[i] = '1';
+  }
+  return s;
+}
+}  // namespace
+
+MinimizeResult minimize_states(const Fsm& fsm, const MinimizeOptions& opts) {
+  MinimizeResult res;
+  const int n = fsm.num_states();
+  res.state_map.assign(n, 0);
+  if (n == 0 || fsm.num_inputs() > opts.max_enumerated_inputs) {
+    res.fsm = fsm;
+    for (int s = 0; s < n; ++s) res.state_map[s] = s;
+    res.classes = n;
+    return res;
+  }
+  res.applied = true;
+  const unsigned ninputs = 1u << fsm.num_inputs();
+
+  // Precompute behaviour: (next state, output string) per (state, minterm);
+  // next = -2, output "?" for unspecified rows.
+  std::vector<std::vector<std::pair<int, std::string>>> behav(
+      n, std::vector<std::pair<int, std::string>>(ninputs, {-2, "?"}));
+  for (int s = 0; s < n; ++s) {
+    for (unsigned m = 0; m < ninputs; ++m) {
+      auto r = fsm.step(s, input_bits(m, fsm.num_inputs()));
+      if (r) behav[s][m] = {r->first, r->second};
+    }
+  }
+
+  // Initial partition: by the full output signature.
+  std::vector<int> cls(n, 0);
+  {
+    std::map<std::string, int> sig_to_cls;
+    for (int s = 0; s < n; ++s) {
+      std::string sig;
+      for (unsigned m = 0; m < ninputs; ++m) {
+        sig += behav[s][m].second;
+        sig += '|';
+      }
+      auto [it, inserted] =
+          sig_to_cls.emplace(sig, static_cast<int>(sig_to_cls.size()));
+      cls[s] = it->second;
+    }
+  }
+  // Refinement: split classes whose members disagree on next-state classes.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    std::map<std::vector<int>, int> sig_to_cls;
+    std::vector<int> next_cls(n);
+    for (int s = 0; s < n; ++s) {
+      std::vector<int> sig;
+      sig.push_back(cls[s]);
+      for (unsigned m = 0; m < ninputs; ++m) {
+        int t = behav[s][m].first;
+        sig.push_back(t >= 0 ? cls[t] : -2);
+      }
+      auto [it, inserted] =
+          sig_to_cls.emplace(sig, static_cast<int>(sig_to_cls.size()));
+      next_cls[s] = it->second;
+    }
+    if (next_cls != cls) {
+      // Only ever refines: class count is non-decreasing.
+      cls = next_cls;
+      changed = true;
+    }
+  }
+
+  // Renumber classes by first occurrence for stable naming.
+  std::map<int, int> renum;
+  for (int s = 0; s < n; ++s) {
+    if (!renum.count(cls[s])) renum[cls[s]] = static_cast<int>(renum.size());
+  }
+  for (int s = 0; s < n; ++s) res.state_map[s] = renum[cls[s]];
+  res.classes = static_cast<int>(renum.size());
+
+  // Rebuild the machine on class representatives (first member).
+  Fsm out(fsm.num_inputs(), fsm.num_outputs());
+  out.set_name(fsm.name());
+  std::vector<int> rep(res.classes, -1);
+  for (int s = 0; s < n; ++s) {
+    if (rep[res.state_map[s]] < 0) rep[res.state_map[s]] = s;
+  }
+  for (int c = 0; c < res.classes; ++c) {
+    out.intern_state(fsm.state_name(rep[c]));
+  }
+  for (const Transition& t : fsm.transitions()) {
+    if (t.present >= 0 && rep[res.state_map[t.present]] != t.present)
+      continue;  // keep representative rows only
+    int p = t.present >= 0 ? res.state_map[t.present] : -1;
+    int x = t.next >= 0 ? res.state_map[t.next] : -1;
+    out.add_transition(t.input, p, x, t.output);
+  }
+  if (n > 0) out.set_reset_state(res.state_map[fsm.reset_state()]);
+  res.fsm = std::move(out);
+  return res;
+}
+
+}  // namespace fsm

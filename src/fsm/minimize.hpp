@@ -1,0 +1,32 @@
+// State minimization by partition refinement (Moore-style equivalence).
+//
+// Two states are merged when they have identical specified behaviour on
+// every input minterm: same outputs (with '-' treated as its own symbol,
+// which is conservative for incompletely specified machines) and next
+// states in the same class. This is the classic reduction pass run before
+// state assignment in PLA-based FSM flows.
+//
+// The input space is enumerated exactly, so the pass applies machines with
+// up to `max_enumerated_inputs` primary inputs; beyond that the machine is
+// returned unchanged (reported via `applied`).
+#pragma once
+
+#include "fsm/fsm.hpp"
+
+namespace nova::fsm {
+
+struct MinimizeOptions {
+  int max_enumerated_inputs = 14;
+};
+
+struct MinimizeResult {
+  Fsm fsm;                     ///< the reduced machine
+  std::vector<int> state_map;  ///< old state index -> new state index
+  int classes = 0;
+  bool applied = false;  ///< false when the input space was too wide
+};
+
+MinimizeResult minimize_states(const Fsm& fsm,
+                               const MinimizeOptions& opts = {});
+
+}  // namespace nova::fsm

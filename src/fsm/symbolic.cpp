@@ -1,0 +1,68 @@
+#include "fsm/symbolic.hpp"
+
+namespace nova::fsm {
+
+using logic::Cover;
+using logic::Cube;
+using logic::CubeSpec;
+
+SymbolicCover build_symbolic_cover(const Fsm& fsm) {
+  SymbolicCover sc;
+  sc.num_inputs = fsm.num_inputs();
+  sc.num_states = fsm.num_states();
+  sc.num_outputs = fsm.num_outputs();
+
+  std::vector<int> sizes(sc.num_inputs, 2);
+  sizes.push_back(std::max(sc.num_states, 1));
+  sizes.push_back(sc.num_states + sc.num_outputs);
+  sc.spec = CubeSpec(std::move(sizes));
+  sc.on = Cover(sc.spec);
+  sc.dc = Cover(sc.spec);
+
+  const int pv = sc.present_var();
+  const int ov = sc.output_var();
+
+  // Union of the specified (input, present) regions; output part kept full.
+  Cover specified(sc.spec);
+
+  for (const Transition& t : fsm.transitions()) {
+    Cube base = Cube::full(sc.spec);
+    base.set_binary_from_pla(sc.spec, 0, t.input);
+    if (t.present >= 0) base.set_value(sc.spec, pv, t.present);
+    specified.add(base);
+
+    // ON: the next-state indicator plus the asserted outputs.
+    Cube on = base;
+    for (int k = 0; k < sc.spec.size(ov); ++k) on.clear(sc.spec.bit(ov, k));
+    if (t.next >= 0) on.set(sc.spec.bit(ov, sc.next_value(t.next)));
+    for (int j = 0; j < sc.num_outputs; ++j) {
+      if (t.output[j] == '1') on.set(sc.spec.bit(ov, sc.output_value(j)));
+    }
+    sc.on.add(on);  // dropped automatically if it asserts nothing
+
+    // DC: '-' outputs of this row.
+    for (int j = 0; j < sc.num_outputs; ++j) {
+      if (t.output[j] == '-') {
+        Cube d = base;
+        d.set_value(sc.spec, ov, sc.output_value(j));
+        sc.dc.add(d);
+      }
+    }
+    // DC: unspecified next state ('*').
+    if (t.next == -1 && sc.num_states > 0) {
+      Cube d = base;
+      for (int k = 0; k < sc.spec.size(ov); ++k) d.clear(sc.spec.bit(ov, k));
+      for (int s = 0; s < sc.num_states; ++s)
+        d.set(sc.spec.bit(ov, sc.next_value(s)));
+      sc.dc.add(d);
+    }
+  }
+
+  // DC: everything outside the specified (input, present) region.
+  Cover unspecified = logic::complement(specified);
+  sc.dc.add_all(unspecified);
+  sc.dc.make_scc();
+  return sc;
+}
+
+}  // namespace nova::fsm

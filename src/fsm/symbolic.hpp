@@ -1,0 +1,37 @@
+// Construction of the multiple-valued symbolic cover of an FSM's
+// combinational component (paper section 2.2).
+//
+// Variables: one binary variable per primary input, one #states-valued
+// variable for the present state, and -- in the characteristic-function
+// view -- one output variable whose values are the next-state indicators
+// followed by the primary outputs.
+#pragma once
+
+#include "fsm/fsm.hpp"
+#include "logic/cover.hpp"
+
+namespace nova::fsm {
+
+struct SymbolicCover {
+  logic::CubeSpec spec;
+  logic::Cover on;  ///< asserted (input, present) -> {next} u {high outputs}
+  logic::Cover dc;  ///< '-' outputs, unspecified next states, unused space
+  int num_inputs = 0;
+  int num_states = 0;
+  int num_outputs = 0;
+
+  /// Index of the present-state MV variable in `spec`.
+  int present_var() const { return num_inputs; }
+  /// Index of the output characteristic variable in `spec`.
+  int output_var() const { return num_inputs + 1; }
+  /// Output-variable value for "next state is s".
+  int next_value(int s) const { return s; }
+  /// Output-variable value for primary output j.
+  int output_value(int j) const { return num_states + j; }
+};
+
+/// Builds the ON/DC covers of the FSM's combinational component.
+/// Unspecified (input, present-state) regions are fully don't-care.
+SymbolicCover build_symbolic_cover(const Fsm& fsm);
+
+}  // namespace nova::fsm

@@ -1,0 +1,174 @@
+#include "logic/cover.hpp"
+
+#include <algorithm>
+
+namespace nova::logic {
+namespace {
+
+/// Picks the variable to branch on: the one with non-full parts in the most
+/// cubes (most binate), tie-broken by fewer values (cheaper branching).
+/// Returns -1 if every cube has every part full (i.e. some cube is full).
+int select_var(const Cover& F) {
+  const CubeSpec& spec = F.spec();
+  int best = -1, best_count = 0, best_size = 0;
+  for (int v = 0; v < spec.num_vars(); ++v) {
+    int cnt = 0;
+    for (const Cube& c : F) {
+      if (!c.part_full(spec, v)) ++cnt;
+    }
+    if (cnt == 0) continue;
+    if (best == -1 || cnt > best_count ||
+        (cnt == best_count && spec.size(v) < best_size)) {
+      best = v;
+      best_count = cnt;
+      best_size = spec.size(v);
+    }
+  }
+  return best;
+}
+
+Cube value_cube(const CubeSpec& spec, int v, int k) {
+  Cube c = Cube::full(spec);
+  c.set_value(spec, v, k);
+  return c;
+}
+
+}  // namespace
+
+void Cover::make_scc() {
+  // Sort by descending weight so that containers precede containees; then a
+  // single forward pass removes contained cubes.
+  std::stable_sort(cubes_.begin(), cubes_.end(), [](const Cube& a, const Cube& b) {
+    return a.weight() > b.weight();
+  });
+  std::vector<Cube> kept;
+  kept.reserve(cubes_.size());
+  for (const Cube& c : cubes_) {
+    bool contained = false;
+    for (const Cube& k : kept) {
+      if (k.contains(c)) {
+        contained = true;
+        break;
+      }
+    }
+    if (!contained) kept.push_back(c);
+  }
+  cubes_ = std::move(kept);
+}
+
+Cover cofactor(const Cover& F, const Cube& p) {
+  Cover R(F.spec());
+  R.reserve(F.size());
+  for (const Cube& c : F) {
+    if (c.intersects(F.spec(), p)) R.add(c.cofactor(F.spec(), p));
+  }
+  return R;
+}
+
+bool tautology(const Cover& F) {
+  if (F.empty()) return F.spec().total_bits() == 0;
+  const CubeSpec& spec = F.spec();
+  // Fast accept: a full cube covers everything.
+  for (const Cube& c : F) {
+    if (c.is_full(spec)) return true;
+  }
+  // Fast reject: if some value of some variable appears in no cube, the
+  // corresponding slice of the universe is uncovered.
+  Cube orall(spec);
+  for (const Cube& c : F) orall.raw() |= c.raw();
+  if (!orall.is_full(spec)) return false;
+
+  int v = select_var(F);
+  if (v < 0) return true;  // unreachable: some cube would be full
+  for (int k = 0; k < spec.size(v); ++k) {
+    Cover Fk = cofactor(F, value_cube(spec, v, k));
+    if (!tautology(Fk)) return false;
+  }
+  return true;
+}
+
+bool covers_cube(const Cover& F, const Cube& c) {
+  if (F.single_cube_contains(c)) return true;
+  return tautology(cofactor(F, c));
+}
+
+bool covers_cover(const Cover& F, const Cover& G) {
+  for (const Cube& g : G) {
+    if (!covers_cube(F, g)) return false;
+  }
+  return true;
+}
+
+Cover complement(const Cover& F) {
+  const CubeSpec& spec = F.spec();
+  Cover R(spec);
+  if (F.empty()) {
+    R.add(Cube::full(spec));
+    return R;
+  }
+  for (const Cube& c : F) {
+    if (c.is_full(spec)) return R;  // complement of universe is empty
+  }
+  if (F.size() == 1) {
+    // Complement of a single cube: for each non-full variable part, a cube
+    // admitting exactly the missing values of that variable.
+    const Cube& c = F[0];
+    for (int v = 0; v < spec.num_vars(); ++v) {
+      if (c.part_full(spec, v)) continue;
+      Cube d = Cube::full(spec);
+      for (int k = 0; k < spec.size(v); ++k) {
+        if (c.get(spec.bit(v, k)))
+          d.clear(spec.bit(v, k));
+      }
+      R.add(d);
+    }
+    return R;
+  }
+  int v = select_var(F);
+  for (int k = 0; k < spec.size(v); ++k) {
+    Cube vk = value_cube(spec, v, k);
+    Cover Ck = complement(cofactor(F, vk));
+    for (Cube c : Ck) {
+      c.raw() &= vk.raw();
+      R.add(c);
+    }
+  }
+  R.make_scc();
+  return R;
+}
+
+Cube supercube_of(const Cover& F) {
+  Cube s(F.spec());
+  for (const Cube& c : F) s.raw() |= c.raw();
+  return s;
+}
+
+bool covers_minterm(const Cover& F, const Cube& m) {
+  return F.single_cube_contains(m);
+}
+
+namespace {
+long double covered_fraction(const Cover& F) {
+  const CubeSpec& spec = F.spec();
+  if (F.empty()) return 0.0L;
+  for (const Cube& c : F) {
+    if (c.is_full(spec)) return 1.0L;
+  }
+  int v = select_var(F);
+  if (v < 0) return 1.0L;
+  long double sum = 0.0L;
+  for (int k = 0; k < spec.size(v); ++k) {
+    Cube vk = Cube::full(spec);
+    vk.set_value(spec, v, k);
+    sum += covered_fraction(cofactor(F, vk));
+  }
+  return sum / spec.size(v);
+}
+}  // namespace
+
+long double count_minterms(const Cover& F) {
+  long double total = Cube::full(F.spec()).minterms(F.spec());
+  return covered_fraction(F) * total;
+}
+
+}  // namespace nova::logic

@@ -1,0 +1,97 @@
+// A cover: a set of cubes over a common CubeSpec, denoting their union.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "logic/cube.hpp"
+
+namespace nova::logic {
+
+class Cover {
+ public:
+  Cover() = default;
+  explicit Cover(CubeSpec spec) : spec_(std::move(spec)) {}
+
+  const CubeSpec& spec() const { return spec_; }
+  int size() const { return static_cast<int>(cubes_.size()); }
+  bool empty() const { return cubes_.empty(); }
+  const Cube& operator[](int i) const { return cubes_[i]; }
+  Cube& operator[](int i) { return cubes_[i]; }
+  auto begin() const { return cubes_.begin(); }
+  auto end() const { return cubes_.end(); }
+  auto begin() { return cubes_.begin(); }
+  auto end() { return cubes_.end(); }
+  const std::vector<Cube>& cubes() const { return cubes_; }
+
+  /// Adds a cube; silently drops empty cubes to preserve the invariant that
+  /// every stored cube denotes a non-empty set.
+  void add(const Cube& c) {
+    if (c.nonempty(spec_)) cubes_.push_back(c);
+  }
+  void add_all(const Cover& o) {
+    for (const Cube& c : o) add(c);
+  }
+  void remove(int i) { cubes_.erase(cubes_.begin() + i); }
+  void clear() { cubes_.clear(); }
+  void reserve(int n) { cubes_.reserve(n); }
+
+  /// True iff some cube contains the (non-empty) cube c in a single step.
+  bool single_cube_contains(const Cube& c) const {
+    for (const Cube& d : cubes_) {
+      if (d.contains(c)) return true;
+    }
+    return false;
+  }
+
+  /// Removes cubes contained in another cube of the cover (SCC minimization).
+  void make_scc();
+
+  /// Total number of set bits across cubes (literal-ish cost measure).
+  long total_weight() const {
+    long w = 0;
+    for (const Cube& c : cubes_) w += c.weight();
+    return w;
+  }
+
+  std::string to_string() const {
+    std::string s;
+    for (const Cube& c : cubes_) {
+      s += c.to_string(spec_);
+      s += '\n';
+    }
+    return s;
+  }
+
+ private:
+  CubeSpec spec_;
+  std::vector<Cube> cubes_;
+};
+
+/// Cofactor of F with respect to cube p: cubes at distance > 0 drop out,
+/// the rest are cofactored per-variable.
+Cover cofactor(const Cover& F, const Cube& p);
+
+/// True iff F covers the whole universe of its spec.
+bool tautology(const Cover& F);
+
+/// True iff cube c is covered by F (i.e. c subseteq union(F)).
+bool covers_cube(const Cover& F, const Cube& c);
+
+/// True iff every cube of G is covered by F.
+bool covers_cover(const Cover& F, const Cover& G);
+
+/// Complement of F over the universe of its spec.
+Cover complement(const Cover& F);
+
+/// Smallest single cube containing every cube of F; empty cube if F empty.
+Cube supercube_of(const Cover& F);
+
+/// True iff the given minterm cube (one value per variable) is covered by F.
+bool covers_minterm(const Cover& F, const Cube& m);
+
+/// Exact number of minterms covered by F (inclusion-exclusion free: computed
+/// by recursive disjoint sharp; intended for small test instances only).
+long double count_minterms(const Cover& F);
+
+}  // namespace nova::logic

@@ -1,0 +1,194 @@
+// A cube in positional-cube notation over a CubeSpec.
+//
+// Bit (v,k) set means variable v may take value k. A cube denotes the set of
+// minterms whose every variable value is admitted; a cube with an empty part
+// denotes the empty set. The full cube (all bits set) is the universe.
+#pragma once
+
+#include <string>
+
+#include "logic/spec.hpp"
+#include "util/bitvec.hpp"
+
+namespace nova::logic {
+
+using util::BitVec;
+
+class Cube {
+ public:
+  Cube() = default;
+  explicit Cube(const CubeSpec& spec) : bits_(spec.total_bits()) {}
+
+  /// The universe cube (every part full).
+  static Cube full(const CubeSpec& spec) {
+    Cube c(spec);
+    c.bits_.set_all();
+    return c;
+  }
+
+  /// Parses "10|011|1x0"-style strings: '|' separates variables (optional),
+  /// within a part '1'/'0' set/clear value bits. For binary variables the
+  /// shorthand '0' -> 10, '1' -> 01, '-'/'x' -> 11 is used by from_pla().
+  static Cube from_bits(const CubeSpec& spec, const std::string& s) {
+    Cube c(spec);
+    int i = 0;
+    for (char ch : s) {
+      if (ch == '|' || ch == ' ') continue;
+      if (ch == '1') c.bits_.set(i);
+      ++i;
+    }
+    assert(i == spec.total_bits());
+    return c;
+  }
+
+  /// Parses a PLA-style binary-input string over binary variables:
+  /// '0' -> {0}, '1' -> {1}, '-' or 'x' or '2' -> {0,1}.
+  /// Only positions [first_var, first_var+len) are filled; other parts are
+  /// untouched (caller typically starts from full()).
+  void set_binary_from_pla(const CubeSpec& spec, int first_var,
+                           const std::string& s) {
+    for (int j = 0; j < static_cast<int>(s.size()); ++j) {
+      int v = first_var + j;
+      assert(spec.is_binary(v));
+      char ch = s[j];
+      bits_.clear(spec.bit(v, 0));
+      bits_.clear(spec.bit(v, 1));
+      if (ch == '0' || ch == '-' || ch == 'x' || ch == '2')
+        bits_.set(spec.bit(v, 0));
+      if (ch == '1' || ch == '-' || ch == 'x' || ch == '2')
+        bits_.set(spec.bit(v, 1));
+    }
+  }
+
+  bool get(int bit) const { return bits_.get(bit); }
+  void set(int bit) { bits_.set(bit); }
+  void clear(int bit) { bits_.clear(bit); }
+
+  const BitVec& raw() const { return bits_; }
+  BitVec& raw() { return bits_; }
+
+  /// Sets variable v to exactly value k (clears the rest of the part).
+  void set_value(const CubeSpec& spec, int v, int k) {
+    for (int j = 0; j < spec.size(v); ++j) bits_.clear(spec.bit(v, j));
+    bits_.set(spec.bit(v, k));
+  }
+
+  /// Makes variable v full (don't-care).
+  void set_full(const CubeSpec& spec, int v) {
+    for (int j = 0; j < spec.size(v); ++j) bits_.set(spec.bit(v, j));
+  }
+
+  bool part_full(const CubeSpec& spec, int v) const {
+    for (int j = 0; j < spec.size(v); ++j) {
+      if (!bits_.get(spec.bit(v, j))) return false;
+    }
+    return true;
+  }
+  bool part_empty(const CubeSpec& spec, int v) const {
+    for (int j = 0; j < spec.size(v); ++j) {
+      if (bits_.get(spec.bit(v, j))) return false;
+    }
+    return true;
+  }
+  int part_count(const CubeSpec& spec, int v) const {
+    int c = 0;
+    for (int j = 0; j < spec.size(v); ++j) c += bits_.get(spec.bit(v, j));
+    return c;
+  }
+
+  /// True iff the cube denotes a non-empty set (every part non-empty).
+  bool nonempty(const CubeSpec& spec) const {
+    for (int v = 0; v < spec.num_vars(); ++v) {
+      if (part_empty(spec, v)) return false;
+    }
+    return true;
+  }
+
+  bool is_full(const CubeSpec& spec) const {
+    (void)spec;
+    return bits_.all();
+  }
+
+  /// Set containment: *this contains o iff o's bits are a subset (and both
+  /// denote non-empty sets; callers keep cubes non-empty as an invariant).
+  bool contains(const Cube& o) const { return bits_.contains(o.bits_); }
+
+  /// True iff the intersection is a non-empty cube.
+  bool intersects(const CubeSpec& spec, const Cube& o) const {
+    Cube t = *this;
+    t.bits_ &= o.bits_;
+    return t.nonempty(spec);
+  }
+
+  /// Intersection; may be an empty cube (check nonempty()).
+  Cube intersect(const Cube& o) const {
+    Cube t = *this;
+    t.bits_ &= o.bits_;
+    return t;
+  }
+
+  /// Smallest cube containing both.
+  Cube supercube(const Cube& o) const {
+    Cube t = *this;
+    t.bits_ |= o.bits_;
+    return t;
+  }
+
+  /// Number of variables whose parts do not intersect.
+  int distance(const CubeSpec& spec, const Cube& o) const {
+    int d = 0;
+    for (int v = 0; v < spec.num_vars(); ++v) {
+      bool hit = false;
+      for (int j = 0; j < spec.size(v) && !hit; ++j) {
+        int b = spec.bit(v, j);
+        hit = bits_.get(b) && o.bits_.get(b);
+      }
+      if (!hit) ++d;
+    }
+    return d;
+  }
+
+  /// Espresso cofactor of *this with respect to p. Requires distance 0.
+  /// For each variable: result part = this_part | ~p_part.
+  Cube cofactor(const CubeSpec& spec, const Cube& p) const {
+    Cube t = *this;
+    t.bits_ |= complement_bits(spec, p.bits_);
+    return t;
+  }
+
+  /// Number of set bits (used as a size measure for ordering heuristics).
+  int weight() const { return bits_.count(); }
+
+  /// Number of minterms the cube denotes.
+  long double minterms(const CubeSpec& spec) const {
+    long double m = 1;
+    for (int v = 0; v < spec.num_vars(); ++v) m *= part_count(spec, v);
+    return m;
+  }
+
+  bool operator==(const Cube& o) const { return bits_ == o.bits_; }
+  bool operator!=(const Cube& o) const { return bits_ != o.bits_; }
+  bool operator<(const Cube& o) const { return bits_ < o.bits_; }
+
+  std::string to_string(const CubeSpec& spec) const {
+    std::string s;
+    for (int v = 0; v < spec.num_vars(); ++v) {
+      if (v) s += '|';
+      for (int j = 0; j < spec.size(v); ++j)
+        s += bits_.get(spec.bit(v, j)) ? '1' : '0';
+    }
+    return s;
+  }
+
+ private:
+  static BitVec complement_bits(const CubeSpec& spec, const BitVec& b) {
+    BitVec r = b;
+    r.flip_all();
+    (void)spec;
+    return r;
+  }
+
+  BitVec bits_;
+};
+
+}  // namespace nova::logic

@@ -1,0 +1,357 @@
+#include "logic/espresso.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "logic/exact.hpp"  // consensus()
+
+namespace nova::logic {
+namespace {
+
+/// Incremental feasibility tracker for expanding one cube against OFF.
+///
+/// For every off-cube d the expansion invariant is dist(cur, d) >= 1, i.e.
+/// at least one variable part of cur is disjoint from d's. Raising bit b
+/// (variable v) can only destroy disjointness in v. A raise is infeasible
+/// iff some off-cube has exactly one disjoint variable left and that raise
+/// would intersect it.
+class ExpandTracker {
+ public:
+  ExpandTracker(const CubeSpec& spec, const Cube& start, const Cover& off)
+      : spec_(spec), off_(off) {
+    const int nv = spec.num_vars();
+    disjoint_.assign(off.size(), std::vector<char>(nv, 0));
+    count_.assign(off.size(), 0);
+    danger_.assign(spec.total_bits(), 0);
+    for (int di = 0; di < off.size(); ++di) {
+      for (int v = 0; v < nv; ++v) {
+        bool hit = false;
+        for (int k = 0; k < spec.size(v) && !hit; ++k) {
+          int b = spec.bit(v, k);
+          hit = start.get(b) && off[di].get(b);
+        }
+        if (!hit) {
+          disjoint_[di][v] = 1;
+          ++count_[di];
+        }
+      }
+      // An off-cube intersecting the starting cube means ON and OFF overlap
+      // (inconsistent input); poison the tracker so no raise is attempted.
+      if (count_[di] == 0) poisoned_.push_back(di);
+      if (count_[di] == 1) add_danger(di);
+    }
+  }
+
+  bool feasible(int b) const {
+    if (!poisoned_.empty()) return false;  // inconsistent input: no raises
+    return danger_[b] == 0;
+  }
+
+  bool inconsistent() const { return !poisoned_.empty(); }
+
+  /// Commits a feasible raise of bit b on `cur` (already updated by caller).
+  void raise(int b, const Cube& /*cur*/) {
+    int v = var_of(b);
+    for (int di = 0; di < off_.size(); ++di) {
+      if (!disjoint_[di][v]) continue;
+      if (!off_[di].get(b)) continue;
+      // Variable v of off-cube di now intersects the expanded cube.
+      if (count_[di] == 1) remove_danger(di);
+      disjoint_[di][v] = 0;
+      --count_[di];
+      if (count_[di] == 1) add_danger(di);
+      if (count_[di] == 0) poisoned_.push_back(di);
+    }
+  }
+
+ private:
+  int var_of(int b) const {
+    // Linear scan is fine: called on the raise path only.
+    for (int v = 0; v < spec_.num_vars(); ++v) {
+      if (b >= spec_.offset(v) && b < spec_.offset(v) + spec_.size(v)) return v;
+    }
+    return -1;
+  }
+
+  void add_danger(int di) { bump_danger(di, +1); }
+  void remove_danger(int di) { bump_danger(di, -1); }
+  void bump_danger(int di, int delta) {
+    int v = -1;
+    for (int u = 0; u < spec_.num_vars(); ++u) {
+      if (disjoint_[di][u]) {
+        v = u;
+        break;
+      }
+    }
+    if (v < 0) return;
+    for (int k = 0; k < spec_.size(v); ++k) {
+      int b = spec_.bit(v, k);
+      if (off_[di].get(b)) danger_[b] += delta;
+    }
+  }
+
+  const CubeSpec& spec_;
+  const Cover& off_;
+  std::vector<std::vector<char>> disjoint_;
+  std::vector<int> count_;
+  std::vector<int> danger_;
+  std::vector<int> poisoned_;
+};
+
+/// Expands one cube to a prime against OFF, preferring raises present in
+/// many other cubes of F (so the expanded cube is likely to cover them).
+Cube expand_cube(const Cube& c, const Cover& off, const std::vector<int>& score,
+                 const CubeSpec& spec) {
+  Cube cur = c;
+  ExpandTracker tracker(spec, c, off);
+  if (tracker.inconsistent()) return cur;
+  const int nbits = spec.total_bits();
+  while (true) {
+    int best = -1, best_score = -1;
+    for (int b = 0; b < nbits; ++b) {
+      if (cur.get(b)) continue;
+      if (!tracker.feasible(b)) continue;
+      if (score[b] > best_score) {
+        best_score = score[b];
+        best = b;
+      }
+    }
+    if (best < 0) break;
+    cur.set(best);
+    tracker.raise(best, cur);
+  }
+  return cur;
+}
+
+struct Cost {
+  int cubes;
+  long weight;
+  bool operator<(const Cost& o) const {
+    return cubes != o.cubes ? cubes < o.cubes : weight < o.weight;
+  }
+};
+
+Cost cost_of(const Cover& F) { return {F.size(), F.total_weight()}; }
+
+/// LAST_GASP-style escape from local minima: reduce every cube maximally
+/// and independently, then try pairwise supercube merges of the reduced
+/// cubes; any merge that misses the off-set is a candidate new prime seed.
+/// Returns an improved cover, or F unchanged.
+Cover last_gasp(const Cover& F, const Cover& dc, const Cover& off) {
+  const CubeSpec& spec = F.spec();
+  // Independent maximal reduction (all against the original F).
+  std::vector<Cube> red;
+  red.reserve(F.size());
+  for (int i = 0; i < F.size(); ++i) {
+    Cover rest(spec);
+    for (int j = 0; j < F.size(); ++j) {
+      if (j != i) rest.add(F[j]);
+    }
+    rest.add_all(dc);
+    Cover rc = cofactor(rest, F[i]);
+    if (tautology(rc)) continue;  // fully redundant cube: no seed from it
+    Cube sc = supercube_of(complement(rc));
+    Cube r = F[i].intersect(sc);
+    if (r.nonempty(spec)) red.push_back(r);
+  }
+  // Pairwise merges that avoid the off-set.
+  Cover merged(spec);
+  for (size_t i = 0; i < red.size(); ++i) {
+    for (size_t j = i + 1; j < red.size(); ++j) {
+      Cube m = red[i].supercube(red[j]);
+      bool hits = false;
+      for (const Cube& d : off) {
+        if (m.intersects(spec, d)) {
+          hits = true;
+          break;
+        }
+      }
+      if (!hits && !merged.single_cube_contains(m)) merged.add(m);
+    }
+  }
+  if (merged.empty()) return F;
+  Cover trial = F;
+  trial.add_all(merged);
+  trial.make_scc();
+  trial = irredundant(trial, dc);
+  return cost_of(trial) < cost_of(F) ? trial : F;
+}
+
+}  // namespace
+
+Cover expand(const Cover& F, const Cover& off) {
+  const CubeSpec& spec = F.spec();
+  // Bit scores: how many cubes of F assert each bit. Raising popular bits
+  // makes the expanded cube more likely to swallow other cubes.
+  std::vector<int> score(spec.total_bits(), 0);
+  for (const Cube& c : F) {
+    for (int b = 0; b < spec.total_bits(); ++b) {
+      if (c.get(b)) ++score[b];
+    }
+  }
+  // Process smallest cubes first: they gain the most from expansion.
+  std::vector<int> order(F.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(),
+                   [&](int a, int b) { return F[a].weight() < F[b].weight(); });
+
+  Cover R(spec);
+  std::vector<char> covered(F.size(), 0);
+  for (int idx : order) {
+    if (covered[idx]) continue;
+    Cube p = expand_cube(F[idx], off, score, spec);
+    // Mark any remaining cube swallowed by the new prime.
+    for (int j = 0; j < F.size(); ++j) {
+      if (!covered[j] && p.contains(F[j])) covered[j] = 1;
+    }
+    covered[idx] = 1;
+    R.add(p);
+  }
+  R.make_scc();
+  return R;
+}
+
+Cover irredundant(const Cover& F, const Cover& dc) {
+  // Sequential redundancy removal: drop cube i if the remaining cubes plus
+  // the don't-care set still cover it. Order by descending weight so large
+  // (likely-overlapping) cubes are considered for deletion first... large
+  // cubes are *kept*; testing small cubes first removes specialists that the
+  // big primes already cover.
+  std::vector<char> alive(F.size(), 1);
+  std::vector<int> order(F.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(),
+                   [&](int a, int b) { return F[a].weight() < F[b].weight(); });
+  for (int i : order) {
+    Cover rest(F.spec());
+    for (int j = 0; j < F.size(); ++j) {
+      if (j != i && alive[j]) rest.add(F[j]);
+    }
+    rest.add_all(dc);
+    if (covers_cube(rest, F[i])) alive[i] = 0;
+  }
+  Cover R(F.spec());
+  for (int i = 0; i < F.size(); ++i) {
+    if (alive[i]) R.add(F[i]);
+  }
+  return R;
+}
+
+Cover reduce(const Cover& F, const Cover& dc) {
+  // reduce(c) = c  ∩  supercube( complement( (F \ c  ∪  DC) cofactored by c ) )
+  Cover cur = F;
+  std::vector<int> order(F.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(),
+                   [&](int a, int b) { return F[a].weight() > F[b].weight(); });
+  for (int i : order) {
+    Cover rest(cur.spec());
+    for (int j = 0; j < cur.size(); ++j) {
+      if (j != i) rest.add(cur[j]);
+    }
+    rest.add_all(dc);
+    Cover rc = cofactor(rest, cur[i]);
+    if (tautology(rc)) continue;  // fully redundant: irredundant handles it
+    Cover comp = complement(rc);
+    Cube sc = supercube_of(comp);
+    Cube reduced = cur[i].intersect(sc);
+    if (reduced.nonempty(cur.spec())) cur[i] = reduced;
+  }
+  return cur;
+}
+
+std::pair<Cover, Cover> essentials(const Cover& F, const Cover& dc) {
+  // A prime e is essential iff it covers a minterm no other prime covers.
+  // The espresso test: e is NOT essential iff it is covered by the other
+  // cubes *augmented with their consensus terms against e* (the consensus
+  // captures coverage by overlapping primes not in the current cover).
+  const CubeSpec& spec = F.spec();
+  Cover ess(spec), rest(spec);
+  for (int i = 0; i < F.size(); ++i) {
+    Cover others(spec);
+    for (int j = 0; j < F.size(); ++j) {
+      if (j != i) others.add(F[j]);
+    }
+    others.add_all(dc);
+    Cover aug = others;
+    for (const Cube& g : others) {
+      // Theorem (espresso-II): only distance-1 consensus terms are needed;
+      // a distance-0 cube g already covers its overlap with e itself (and
+      // its consensus can degenerate to e, voiding the test).
+      if (g.distance(spec, F[i]) != 1) continue;
+      for (int v = 0; v < spec.num_vars(); ++v) {
+        Cube c = consensus(spec, g, F[i], v);
+        if (c.nonempty(spec) && !g.contains(c)) aug.add(c);
+      }
+    }
+    if (covers_cube(aug, F[i]))
+      rest.add(F[i]);
+    else
+      ess.add(F[i]);
+  }
+  return {ess, rest};
+}
+
+Cover espresso(const Cover& on, const Cover& dc, const EspressoOptions& opts,
+               EspressoStats* stats) {
+  const CubeSpec& spec = on.spec();
+  Cover F = on;
+  F.make_scc();
+  if (F.empty()) return F;
+
+  // Off-set = complement of ON u DC.
+  Cover ondc = F;
+  ondc.add_all(dc);
+  Cover off = complement(ondc);
+  if (stats) stats->offset_cubes = off.size();
+  if (off.size() > opts.max_offset_cubes) {
+    if (stats) stats->offset_capped = true;
+    Cover R = irredundant(F, dc);
+    R.make_scc();
+    return R;
+  }
+
+  F = expand(F, off);
+  F = irredundant(F, dc);
+
+  auto [E, F2] = essentials(F, dc);
+  F = F2;
+  Cover dce = dc;
+  dce.add_all(E);
+
+  Cost best = cost_of(F);
+  if (!opts.single_pass) {
+    for (int it = 0; it < opts.max_iterations; ++it) {
+      if (stats) stats->iterations = it + 1;
+      Cover G = reduce(F, dce);
+      G = expand(G, off);
+      G = irredundant(G, dce);
+      Cost c = cost_of(G);
+      if (c < best) {
+        best = c;
+        F = G;
+        continue;
+      }
+      // Converged: try the LAST_GASP escape before giving up.
+      G = last_gasp(F, dce, off);
+      c = cost_of(G);
+      if (c < best) {
+        best = c;
+        F = G;
+      } else {
+        break;
+      }
+    }
+  }
+  F.add_all(E);
+  F.make_scc();
+  (void)spec;
+  return F;
+}
+
+Cover espresso(const Cover& on, const EspressoOptions& opts,
+               EspressoStats* stats) {
+  return espresso(on, Cover(on.spec()), opts, stats);
+}
+
+}  // namespace nova::logic

@@ -1,0 +1,53 @@
+// Espresso-style heuristic two-level minimization for multiple-valued
+// (and therefore also binary / multi-output) logic functions.
+//
+// The classic loop: EXPAND against the off-set, IRREDUNDANT, extraction of
+// (relatively) essential primes, then REDUCE / EXPAND / IRREDUNDANT until the
+// cost stops improving. Multi-output functions are handled uniformly through
+// the characteristic-function view (output part = last MV variable).
+#pragma once
+
+#include "logic/cover.hpp"
+
+namespace nova::logic {
+
+struct EspressoOptions {
+  /// Hard cap on the size of the computed off-set cover; if the complement
+  /// exceeds this, minimization falls back to SCC + irredundant only.
+  int max_offset_cubes = 50000;
+  /// Maximum reduce/expand/irredundant iterations.
+  int max_iterations = 12;
+  /// Skip the expensive REDUCE phase (single-pass expand+irredundant).
+  bool single_pass = false;
+};
+
+struct EspressoStats {
+  int iterations = 0;
+  int offset_cubes = 0;
+  bool offset_capped = false;
+};
+
+/// Minimizes ON against the don't-care set DC. Returns a cover G with
+/// ON subseteq G subseteq ON u DC (heuristically near-minimal cube count).
+Cover espresso(const Cover& on, const Cover& dc,
+               const EspressoOptions& opts = {}, EspressoStats* stats = nullptr);
+
+/// Convenience overload with an empty don't-care set.
+Cover espresso(const Cover& on, const EspressoOptions& opts = {},
+               EspressoStats* stats = nullptr);
+
+/// EXPAND phase: grows each cube of F to a prime implicant of the function
+/// whose off-set is OFF, removing cubes that become covered. Exposed for
+/// testing and for reuse by the constraint-extraction code.
+Cover expand(const Cover& F, const Cover& off);
+
+/// IRREDUNDANT phase: removes cubes covered by the rest of the cover plus DC.
+Cover irredundant(const Cover& F, const Cover& dc);
+
+/// REDUCE phase: shrinks each cube to the smallest cube still needed.
+Cover reduce(const Cover& F, const Cover& dc);
+
+/// Splits F into (essential, rest): cubes not covered by the rest of F + DC.
+std::pair<Cover, Cover> essentials(const Cover& F, const Cover& dc);
+
+}  // namespace nova::logic

@@ -1,0 +1,266 @@
+#include "logic/exact.hpp"
+
+#include <algorithm>
+#include <set>
+
+namespace nova::logic {
+
+Cube consensus(const CubeSpec& spec, const Cube& a, const Cube& b, int v) {
+  // q_v(a,b): union on variable v, intersection elsewhere. Defined (non-
+  // empty) only when all other variables intersect.
+  Cube r(spec);
+  for (int u = 0; u < spec.num_vars(); ++u) {
+    for (int k = 0; k < spec.size(u); ++k) {
+      int bit = spec.bit(u, k);
+      bool av = a.get(bit), bv = b.get(bit);
+      if (u == v ? (av || bv) : (av && bv)) r.set(bit);
+    }
+  }
+  if (!r.nonempty(spec)) return Cube(spec);  // empty part somewhere
+  return r;
+}
+
+Cover blake_primes(const Cover& on, const Cover& dc,
+                   const ExactMinOptions& opts) {
+  const CubeSpec& spec = on.spec();
+  Cover f = on;
+  f.add_all(dc);
+  f.make_scc();
+  // Iterated consensus with absorption to a fixpoint.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    std::vector<Cube> add;
+    for (int i = 0; i < f.size(); ++i) {
+      for (int j = i + 1; j < f.size(); ++j) {
+        for (int v = 0; v < spec.num_vars(); ++v) {
+          Cube c = consensus(spec, f[i], f[j], v);
+          if (!c.nonempty(spec)) continue;
+          if (f[i].contains(c) || f[j].contains(c)) continue;
+          if (f.single_cube_contains(c)) continue;
+          bool dup = false;
+          for (const Cube& d : add) {
+            if (d.contains(c)) {
+              dup = true;
+              break;
+            }
+          }
+          if (!dup) add.push_back(c);
+        }
+      }
+    }
+    if (!add.empty()) {
+      for (const Cube& c : add) f.add(c);
+      f.make_scc();
+      changed = true;
+      if (f.size() > opts.max_primes) return Cover(spec);  // blown cap
+    }
+  }
+  return f;
+}
+
+namespace {
+
+/// Enumerates the minterms of ON not covered by DC; empty + false when the
+/// cap is exceeded.
+bool on_minterms(const Cover& on, const Cover& dc, int cap,
+                 std::vector<Cube>* out) {
+  const CubeSpec& spec = on.spec();
+  // Odometer over all variable values, filtered by coverage. To keep this
+  // tractable we enumerate within the union of ON cubes rather than the
+  // whole space: collect candidate minterms cube by cube, dedup.
+  std::set<Cube> seen;
+  for (const Cube& c : on) {
+    // Odometer over the values admitted by c.
+    std::vector<std::vector<int>> values(spec.num_vars());
+    for (int v = 0; v < spec.num_vars(); ++v) {
+      for (int k = 0; k < spec.size(v); ++k) {
+        if (c.get(spec.bit(v, k))) values[v].push_back(k);
+      }
+    }
+    std::vector<int> idx(spec.num_vars(), 0);
+    while (true) {
+      Cube m(spec);
+      for (int v = 0; v < spec.num_vars(); ++v)
+        m.set(spec.bit(v, values[v][idx[v]]));
+      if (!seen.count(m) && !dc.single_cube_contains(m) &&
+          !covers_minterm(dc, m)) {
+        seen.insert(m);
+        if (static_cast<int>(seen.size()) > cap) return false;
+      } else {
+        seen.insert(m);  // still dedup dc-covered minterms
+      }
+      int v = 0;
+      while (v < spec.num_vars() &&
+             ++idx[v] == static_cast<int>(values[v].size())) {
+        idx[v] = 0;
+        ++v;
+      }
+      if (v == spec.num_vars()) break;
+    }
+    if (static_cast<int>(seen.size()) > cap) return false;
+  }
+  for (const Cube& m : seen) {
+    if (!covers_minterm(dc, m)) out->push_back(m);
+  }
+  return static_cast<int>(out->size()) <= cap;
+}
+
+/// Branch-and-bound minimum unate covering.
+class Covering {
+ public:
+  Covering(int nrows, int ncols, std::vector<std::vector<int>> row_cols,
+           long max_nodes)
+      : ncols_(ncols), row_cols_(std::move(row_cols)),
+        max_nodes_(max_nodes) {
+    (void)nrows;
+  }
+
+  /// Returns selected column indices; `proven` reports optimality.
+  std::vector<int> solve(bool* proven) {
+    std::vector<int> rows(row_cols_.size());
+    for (size_t i = 0; i < rows.size(); ++i) rows[i] = static_cast<int>(i);
+    best_.assign(ncols_, 0);  // sentinel: "all columns" upper bound
+    std::vector<int> all(ncols_);
+    for (int c = 0; c < ncols_; ++c) all[c] = c;
+    best_ = all;
+    std::vector<int> chosen;
+    search(rows, chosen);
+    *proven = nodes_ <= max_nodes_;
+    return best_;
+  }
+
+ private:
+  void search(std::vector<int> rows, std::vector<int>& chosen) {
+    if (++nodes_ > max_nodes_) return;
+    // Remove rows already covered.
+    std::vector<char> is_chosen(ncols_, 0);
+    for (int c : chosen) is_chosen[c] = 1;
+    std::vector<int> left;
+    for (int r : rows) {
+      bool covered = false;
+      for (int c : row_cols_[r]) {
+        if (is_chosen[c]) {
+          covered = true;
+          break;
+        }
+      }
+      if (!covered) left.push_back(r);
+    }
+    if (left.empty()) {
+      if (chosen.size() < best_.size()) best_ = chosen;
+      return;
+    }
+    // Lower bound: a set of pairwise column-disjoint rows.
+    int lb = lower_bound(left);
+    if (chosen.size() + lb >= best_.size()) return;
+    // Essential columns: a row with a single column forces it.
+    for (int r : left) {
+      if (row_cols_[r].size() == 1) {
+        chosen.push_back(row_cols_[r][0]);
+        search(left, chosen);
+        chosen.pop_back();
+        return;
+      }
+      if (row_cols_[r].empty()) return;  // uncoverable (shouldn't happen)
+    }
+    // Branch on the columns of the hardest row (fewest options).
+    int pick = left[0];
+    for (int r : left) {
+      if (row_cols_[r].size() < row_cols_[pick].size()) pick = r;
+    }
+    // Order branch columns by coverage count (most covering first).
+    std::vector<int> cols = row_cols_[pick];
+    std::vector<int> cover_count(ncols_, 0);
+    for (int r : left) {
+      for (int c : row_cols_[r]) ++cover_count[c];
+    }
+    std::sort(cols.begin(), cols.end(),
+              [&](int a, int b) { return cover_count[a] > cover_count[b]; });
+    for (int c : cols) {
+      chosen.push_back(c);
+      search(left, chosen);
+      chosen.pop_back();
+      if (nodes_ > max_nodes_) return;
+    }
+  }
+
+  int lower_bound(const std::vector<int>& rows) {
+    // Greedy independent rows: rows sharing no column.
+    std::vector<char> used(ncols_, 0);
+    int lb = 0;
+    for (int r : rows) {
+      bool indep = true;
+      for (int c : row_cols_[r]) {
+        if (used[c]) {
+          indep = false;
+          break;
+        }
+      }
+      if (indep) {
+        ++lb;
+        for (int c : row_cols_[r]) used[c] = 1;
+      }
+    }
+    return lb;
+  }
+
+  int ncols_;
+  std::vector<std::vector<int>> row_cols_;
+  long max_nodes_;
+  long nodes_ = 0;
+  std::vector<int> best_;
+};
+
+}  // namespace
+
+ExactMinResult exact_minimize(const Cover& on, const Cover& dc,
+                              const ExactMinOptions& opts) {
+  ExactMinResult res;
+  res.cover = Cover(on.spec());
+  if (on.empty()) {
+    res.optimal = true;
+    return res;
+  }
+  Cover primes = blake_primes(on, dc, opts);
+  if (primes.empty()) {
+    // Prime cap blown: fall back to the heuristic pipeline's input.
+    res.cover = on;
+    res.cover.make_scc();
+    return res;
+  }
+  res.num_primes = primes.size();
+
+  std::vector<Cube> rows;
+  if (!on_minterms(on, dc, opts.max_minterms, &rows)) {
+    res.cover = on;
+    res.cover.make_scc();
+    return res;
+  }
+  res.num_rows = static_cast<int>(rows.size());
+  if (rows.empty()) {
+    res.optimal = true;  // ON entirely inside DC
+    return res;
+  }
+
+  std::vector<std::vector<int>> row_cols(rows.size());
+  for (size_t r = 0; r < rows.size(); ++r) {
+    for (int c = 0; c < primes.size(); ++c) {
+      if (primes[c].contains(rows[r])) row_cols[r].push_back(c);
+    }
+  }
+  Covering cov(static_cast<int>(rows.size()), primes.size(),
+               std::move(row_cols), opts.max_nodes);
+  bool proven = false;
+  std::vector<int> picked = cov.solve(&proven);
+  for (int c : picked) res.cover.add(primes[c]);
+  res.cover.make_scc();
+  res.optimal = proven;
+  return res;
+}
+
+ExactMinResult exact_minimize(const Cover& on, const ExactMinOptions& opts) {
+  return exact_minimize(on, Cover(on.spec()), opts);
+}
+
+}  // namespace nova::logic

@@ -1,0 +1,43 @@
+// Exact two-level minimization for small instances (Quine-McCluskey
+// generalized to multiple-valued covers).
+//
+// Primes are computed as the Blake canonical form by iterated consensus
+// with absorption; a minimum cover is then selected by branch-and-bound
+// unate covering with essential-column extraction and row/column dominance.
+// Intended for verification and for small blocks; everything is guarded by
+// explicit work caps (`optimal` reports whether the bound was proven).
+#pragma once
+
+#include "logic/cover.hpp"
+
+namespace nova::logic {
+
+struct ExactMinOptions {
+  int max_primes = 4000;       ///< cap on the Blake canonical form size
+  int max_minterms = 1 << 14;  ///< cap on covering-matrix rows
+  long max_nodes = 200000;     ///< branch-and-bound node budget
+};
+
+struct ExactMinResult {
+  Cover cover;          ///< a minimum (or best-found) cover of ON using DC
+  bool optimal = false; ///< true when minimality was proven within budget
+  int num_primes = 0;
+  int num_rows = 0;     ///< covering-matrix rows (ON minterms)
+};
+
+/// All prime implicants of ON u DC (Blake canonical form). Returns an
+/// empty cover if the prime count exceeds opts.max_primes.
+Cover blake_primes(const Cover& on, const Cover& dc,
+                   const ExactMinOptions& opts = {});
+
+/// MV consensus of two cubes on variable v; empty if undefined.
+Cube consensus(const CubeSpec& spec, const Cube& a, const Cube& b, int v);
+
+/// Exact minimization; falls back to a greedy cover (optimal=false) when a
+/// cap is hit.
+ExactMinResult exact_minimize(const Cover& on, const Cover& dc,
+                              const ExactMinOptions& opts = {});
+ExactMinResult exact_minimize(const Cover& on,
+                              const ExactMinOptions& opts = {});
+
+}  // namespace nova::logic

@@ -1,0 +1,139 @@
+#include "logic/pla_io.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace nova::logic {
+
+CubeSpec Pla::spec() const {
+  std::vector<int> sizes(num_inputs, 2);
+  sizes.push_back(std::max(num_outputs, 1));
+  return CubeSpec(std::move(sizes));
+}
+
+namespace {
+[[noreturn]] void fail(int line, const std::string& msg) {
+  throw std::runtime_error("pla parse error at line " + std::to_string(line) +
+                           ": " + msg);
+}
+}  // namespace
+
+Pla parse_pla(std::istream& in) {
+  Pla pla;
+  struct Row {
+    std::string in, out;
+    int line;
+  };
+  std::vector<Row> rows;
+  std::string line;
+  int lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    auto hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    std::istringstream ss(line);
+    std::string tok;
+    if (!(ss >> tok)) continue;
+    if (tok == ".i") {
+      if (!(ss >> pla.num_inputs) || pla.num_inputs < 0) fail(lineno, "bad .i");
+    } else if (tok == ".o") {
+      if (!(ss >> pla.num_outputs) || pla.num_outputs < 0)
+        fail(lineno, "bad .o");
+    } else if (tok == ".ilb") {
+      std::string l;
+      while (ss >> l) pla.input_labels.push_back(l);
+    } else if (tok == ".ob") {
+      std::string l;
+      while (ss >> l) pla.output_labels.push_back(l);
+    } else if (tok == ".p" || tok == ".type") {
+      continue;  // .p is advisory; only type fd semantics are supported
+    } else if (tok == ".e" || tok == ".end") {
+      break;
+    } else if (tok[0] == '.') {
+      continue;  // unknown directive: ignore
+    } else {
+      Row r;
+      r.in = tok;
+      if (!(ss >> r.out)) fail(lineno, "row needs input and output fields");
+      r.line = lineno;
+      rows.push_back(std::move(r));
+    }
+  }
+  if (pla.num_inputs <= 0 && !rows.empty())
+    pla.num_inputs = static_cast<int>(rows[0].in.size());
+  if (pla.num_outputs <= 0 && !rows.empty())
+    pla.num_outputs = static_cast<int>(rows[0].out.size());
+
+  CubeSpec spec = pla.spec();
+  pla.on = Cover(spec);
+  pla.dc = Cover(spec);
+  const int ov = pla.num_inputs;
+  for (const Row& r : rows) {
+    if (static_cast<int>(r.in.size()) != pla.num_inputs)
+      fail(r.line, "input field width mismatch");
+    if (static_cast<int>(r.out.size()) != pla.num_outputs)
+      fail(r.line, "output field width mismatch");
+    Cube base = Cube::full(spec);
+    base.set_binary_from_pla(spec, 0, r.in);
+    Cube onc = base;
+    for (int k = 0; k < spec.size(ov); ++k) onc.clear(spec.bit(ov, k));
+    bool any = false;
+    for (int j = 0; j < pla.num_outputs; ++j) {
+      char c = r.out[j];
+      if (c == '1' || c == '4') {
+        onc.set(spec.bit(ov, j));
+        any = true;
+      } else if (c == '-' || c == '2') {
+        Cube d = base;
+        d.set_value(spec, ov, j);
+        pla.dc.add(d);
+      } else if (c != '0' && c != '~') {
+        fail(r.line, std::string("bad output character '") + c + "'");
+      }
+    }
+    if (any) pla.on.add(onc);
+  }
+  return pla;
+}
+
+Pla parse_pla_string(const std::string& text) {
+  std::istringstream ss(text);
+  return parse_pla(ss);
+}
+
+namespace {
+void write_rows(const Cover& cover, int ni, int no, char on_char,
+                std::ostream& out) {
+  const CubeSpec& spec = cover.spec();
+  const int ov = ni;
+  for (const auto& c : cover) {
+    std::string in(ni, '-');
+    for (int v = 0; v < ni; ++v) {
+      bool v0 = c.get(spec.bit(v, 0)), v1 = c.get(spec.bit(v, 1));
+      in[v] = v0 && v1 ? '-' : (v1 ? '1' : '0');
+    }
+    std::string o(no, '0');
+    for (int j = 0; j < no && j < spec.size(ov); ++j) {
+      if (c.get(spec.bit(ov, j))) o[j] = on_char;
+    }
+    out << in << ' ' << o << '\n';
+  }
+}
+}  // namespace
+
+void write_pla(const Pla& pla, std::ostream& out) {
+  out << ".i " << pla.num_inputs << "\n.o " << pla.num_outputs << "\n";
+  out << ".p " << (pla.on.size() + pla.dc.size()) << "\n";
+  out << ".type fd\n";
+  write_rows(pla.on, pla.num_inputs, pla.num_outputs, '1', out);
+  write_rows(pla.dc, pla.num_inputs, pla.num_outputs, '-', out);
+  out << ".e\n";
+}
+
+std::string write_pla_string(const Pla& pla) {
+  std::ostringstream ss;
+  write_pla(pla, ss);
+  return ss.str();
+}
+
+}  // namespace nova::logic

@@ -1,0 +1,38 @@
+// Berkeley espresso .pla format reader/writer for binary-input,
+// multi-output covers (type fd: '1' = on-set, '-' = don't-care output).
+//
+// Supported directives: .i .o .p .ilb .ob .type .e/.end; '#' comments.
+// The in-memory representation is the characteristic-function cover used
+// throughout this library (inputs as binary variables, outputs as the last
+// multi-valued variable).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "logic/cover.hpp"
+
+namespace nova::logic {
+
+struct Pla {
+  int num_inputs = 0;
+  int num_outputs = 0;
+  std::vector<std::string> input_labels;   ///< optional (.ilb)
+  std::vector<std::string> output_labels;  ///< optional (.ob)
+  Cover on;  ///< characteristic-function cover (last var = outputs)
+  Cover dc;  ///< '-' output entries
+
+  CubeSpec spec() const;
+};
+
+/// Parses .pla text; throws std::runtime_error with line info on errors.
+Pla parse_pla(std::istream& in);
+Pla parse_pla_string(const std::string& text);
+
+/// Writes .pla text (type fd). Cubes with dc-output entries are emitted
+/// from the dc cover with '-' outputs.
+void write_pla(const Pla& pla, std::ostream& out);
+std::string write_pla_string(const Pla& pla);
+
+}  // namespace nova::logic

@@ -1,0 +1,54 @@
+// Variable layout for positional-cube notation.
+//
+// A CubeSpec describes a product space of multiple-valued variables.
+// Variable v with `size(v)` values occupies `size(v)` consecutive bit
+// positions in every cube; a binary variable is simply a 2-valued variable.
+// Multi-output functions are represented with the output part as the last
+// variable (the characteristic-function view: minimizing chi(x, j) over
+// (inputs..., output-index j) is exactly multi-output minimization).
+#pragma once
+
+#include <cassert>
+#include <numeric>
+#include <vector>
+
+namespace nova::logic {
+
+class CubeSpec {
+ public:
+  CubeSpec() = default;
+  explicit CubeSpec(std::vector<int> sizes) : sizes_(std::move(sizes)) {
+    offsets_.reserve(sizes_.size() + 1);
+    int off = 0;
+    for (int s : sizes_) {
+      assert(s >= 1);
+      offsets_.push_back(off);
+      off += s;
+    }
+    offsets_.push_back(off);
+  }
+
+  /// Spec with `n` binary variables (and nothing else).
+  static CubeSpec binary(int n) { return CubeSpec(std::vector<int>(n, 2)); }
+
+  int num_vars() const { return static_cast<int>(sizes_.size()); }
+  int total_bits() const { return offsets_.empty() ? 0 : offsets_.back(); }
+  int size(int v) const { return sizes_[v]; }
+  int offset(int v) const { return offsets_[v]; }
+  bool is_binary(int v) const { return sizes_[v] == 2; }
+
+  /// Bit position of value `k` of variable `v`.
+  int bit(int v, int k) const {
+    assert(k >= 0 && k < sizes_[v]);
+    return offsets_[v] + k;
+  }
+
+  bool operator==(const CubeSpec& o) const { return sizes_ == o.sizes_; }
+  bool operator!=(const CubeSpec& o) const { return !(*this == o); }
+
+ private:
+  std::vector<int> sizes_;
+  std::vector<int> offsets_;
+};
+
+}  // namespace nova::logic

@@ -1,0 +1,239 @@
+#include "mlopt/algebraic.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+namespace nova::mlopt {
+
+namespace {
+
+bool cube_contains(const CubeL& big, const CubeL& small) {
+  return std::includes(big.begin(), big.end(), small.begin(), small.end());
+}
+
+CubeL cube_minus(const CubeL& a, const CubeL& b) {
+  CubeL r;
+  std::set_difference(a.begin(), a.end(), b.begin(), b.end(),
+                      std::back_inserter(r));
+  return r;
+}
+
+CubeL cube_intersect(const CubeL& a, const CubeL& b) {
+  CubeL r;
+  std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                        std::back_inserter(r));
+  return r;
+}
+
+}  // namespace
+
+Sop normalize(Sop f) {
+  for (auto& c : f) {
+    std::sort(c.begin(), c.end());
+    c.erase(std::unique(c.begin(), c.end()), c.end());
+  }
+  std::sort(f.begin(), f.end());
+  f.erase(std::unique(f.begin(), f.end()), f.end());
+  return f;
+}
+
+long sop_literals(const Sop& f) {
+  long n = 0;
+  for (const auto& c : f) n += static_cast<long>(c.size());
+  return n;
+}
+
+Sop divide(const Sop& f, const Sop& d, Sop* remainder) {
+  if (d.empty()) return {};
+  // Quotient = intersection over divisor cubes of { c \ dk : dk subset c }.
+  std::vector<CubeL> q;
+  bool first = true;
+  for (const auto& dk : d) {
+    std::vector<CubeL> cand;
+    for (const auto& c : f) {
+      if (cube_contains(c, dk)) cand.push_back(cube_minus(c, dk));
+    }
+    std::sort(cand.begin(), cand.end());
+    if (first) {
+      q = std::move(cand);
+      first = false;
+    } else {
+      std::vector<CubeL> inter;
+      std::set_intersection(q.begin(), q.end(), cand.begin(), cand.end(),
+                            std::back_inserter(inter));
+      q = std::move(inter);
+    }
+    if (q.empty()) break;
+  }
+  if (remainder) {
+    // r = f - q*d
+    std::set<CubeL> product;
+    for (const auto& qc : q) {
+      for (const auto& dk : d) {
+        CubeL m = qc;
+        m.insert(m.end(), dk.begin(), dk.end());
+        std::sort(m.begin(), m.end());
+        m.erase(std::unique(m.begin(), m.end()), m.end());
+        product.insert(std::move(m));
+      }
+    }
+    remainder->clear();
+    for (const auto& c : f) {
+      if (!product.count(c)) remainder->push_back(c);
+    }
+  }
+  return q;
+}
+
+CubeL common_cube(const Sop& f) {
+  if (f.empty()) return {};
+  CubeL c = f[0];
+  for (size_t i = 1; i < f.size() && !c.empty(); ++i)
+    c = cube_intersect(c, f[i]);
+  return c;
+}
+
+bool cube_free(const Sop& f) { return common_cube(f).empty(); }
+
+namespace {
+
+void kernels_rec(const Sop& f, Lit min_lit, std::set<Sop>& out,
+                 int max_kernels) {
+  if (static_cast<int>(out.size()) >= max_kernels) return;
+  // Literal occurrence counts.
+  std::map<Lit, int> occ;
+  for (const auto& c : f) {
+    for (Lit l : c) ++occ[l];
+  }
+  for (const auto& [l, cnt] : occ) {
+    if (cnt < 2 || l < min_lit) continue;
+    // Cofactor: cubes containing l, with l removed.
+    Sop co;
+    for (const auto& c : f) {
+      if (std::binary_search(c.begin(), c.end(), l))
+        co.push_back(cube_minus(c, {l}));
+    }
+    CubeL cc = common_cube(co);
+    // Avoid duplicates: skip if the common cube has a literal before l.
+    if (!cc.empty() && cc.front() < l) continue;
+    Sop kern;
+    for (const auto& c : co) kern.push_back(cube_minus(c, cc));
+    kern = normalize(std::move(kern));
+    if (kern.size() >= 2 && out.insert(kern).second) {
+      kernels_rec(kern, l + 1, out, max_kernels);
+      if (static_cast<int>(out.size()) >= max_kernels) return;
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<Sop> kernels(const Sop& f, int max_kernels) {
+  std::set<Sop> out;
+  Sop fn = normalize(f);
+  kernels_rec(fn, 0, out, max_kernels);
+  if (cube_free(fn) && fn.size() >= 2) out.insert(fn);
+  return {out.begin(), out.end()};
+}
+
+long factored_literals(const Sop& f0) {
+  Sop f = normalize(f0);
+  if (f.empty()) return 0;
+  if (f.size() == 1) return static_cast<long>(f[0].size());
+  // Pull out the common cube: f = c * (f/c).
+  CubeL cc = common_cube(f);
+  if (!cc.empty()) {
+    Sop core;
+    for (const auto& c : f) core.push_back(cube_minus(c, cc));
+    return static_cast<long>(cc.size()) + factored_literals(core);
+  }
+  // Choose the best kernel divisor by immediate saving.
+  auto ks = kernels(f, 32);
+  long best_saving = 0;
+  Sop best_q, best_d, best_r;
+  const long flits = sop_literals(f);
+  for (const auto& d : ks) {
+    if (d.size() == f.size() && normalize(d) == f) continue;  // f itself
+    Sop r;
+    Sop q = divide(f, d, &r);
+    if (q.empty() || (q.size() == 1 && q[0].empty())) continue;
+    long after = sop_literals(q) + sop_literals(d) + sop_literals(r);
+    long saving = flits - after;
+    if (saving > best_saving) {
+      best_saving = saving;
+      best_q = q;
+      best_d = d;
+      best_r = r;
+    }
+  }
+  if (best_saving <= 0) return flits;  // no useful algebraic structure left
+  long total = factored_literals(best_q) + factored_literals(best_d);
+  if (!best_r.empty()) total += factored_literals(best_r);
+  return total;
+}
+
+NetworkResult optimize_network(std::vector<Sop> outputs, int num_vars,
+                               int max_iterations) {
+  NetworkResult res;
+  for (auto& f : outputs) {
+    f = normalize(std::move(f));
+    res.sop_lits += sop_literals(f);
+  }
+  Lit next_id = 2 * num_vars;
+
+  for (int iter = 0; iter < max_iterations; ++iter) {
+    // Collect candidate divisors (kernels) from every node.
+    std::set<Sop> cands;
+    for (const auto& f : outputs) {
+      for (auto& k : kernels(f, 24)) cands.insert(std::move(k));
+    }
+    // Greedy: pick the divisor with the best total saving.
+    long best_total = 0;
+    Sop best_d;
+    for (const auto& d : cands) {
+      if (d.size() < 2) continue;
+      long total = -sop_literals(d);  // cost of materializing the divisor
+      for (const auto& f : outputs) {
+        Sop r;
+        Sop q = divide(f, d, &r);
+        if (q.empty()) continue;
+        long before = sop_literals(f);
+        long after = sop_literals(q) + static_cast<long>(q.size()) +
+                     sop_literals(r);
+        if (after < before) total += before - after;
+      }
+      if (total > best_total) {
+        best_total = total;
+        best_d = d;
+      }
+    }
+    if (best_total <= 0) break;
+    // Substitute: f -> q*t + r in every node that gains.
+    Lit t = next_id;
+    next_id += 2;
+    for (auto& f : outputs) {
+      Sop r;
+      Sop q = divide(f, best_d, &r);
+      if (q.empty()) continue;
+      long before = sop_literals(f);
+      long after =
+          sop_literals(q) + static_cast<long>(q.size()) + sop_literals(r);
+      if (after >= before) continue;
+      Sop nf = r;
+      for (auto qc : q) {
+        qc.push_back(t);
+        std::sort(qc.begin(), qc.end());
+        nf.push_back(std::move(qc));
+      }
+      f = normalize(std::move(nf));
+    }
+    outputs.push_back(normalize(best_d));
+    ++res.divisors;
+  }
+
+  for (const auto& f : outputs) res.literals += factored_literals(f);
+  return res;
+}
+
+}  // namespace nova::mlopt

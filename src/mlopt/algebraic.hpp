@@ -1,0 +1,55 @@
+// Algebraic (weak-division) multilevel optimization: the MIS-II substitute
+// used to reproduce the paper's Table VII literal counts.
+//
+// Representation: a literal is an integer id (2*var + phase for the
+// original binary variables; ids >= 2*num_vars denote intermediate divisor
+// nodes, positive phase only); a cube is a sorted vector of literals; an
+// SOP is a vector of cubes. All algorithms are the textbook algebraic ones:
+// weak division, kernel extraction, recursive factoring, and greedy shared
+// divisor extraction across a multi-output network.
+#pragma once
+
+#include <vector>
+
+namespace nova::mlopt {
+
+using Lit = int;
+using CubeL = std::vector<Lit>;  ///< sorted, duplicate-free
+using Sop = std::vector<CubeL>;  ///< sum of cubes
+
+/// Sorts literals and removes duplicate cubes; the canonical form.
+Sop normalize(Sop f);
+
+long sop_literals(const Sop& f);
+
+/// Weak (algebraic) division f / d. Returns the quotient; *remainder (when
+/// non-null) receives f - quotient*d. Empty quotient = division failed.
+Sop divide(const Sop& f, const Sop& d, Sop* remainder = nullptr);
+
+/// The largest cube dividing every cube of f (the common cube).
+CubeL common_cube(const Sop& f);
+
+/// True iff no single literal appears in every cube.
+bool cube_free(const Sop& f);
+
+/// All kernels of f (cube-free quotients of f by cubes), including f itself
+/// when it is cube-free. Bounded at `max_kernels` to keep runtimes sane.
+std::vector<Sop> kernels(const Sop& f, int max_kernels = 64);
+
+/// Literal count of a good factored form of f (recursive factoring with
+/// best-value kernel divisors).
+long factored_literals(const Sop& f);
+
+struct NetworkResult {
+  long literals = 0;    ///< total factored literals of all nodes
+  int divisors = 0;     ///< intermediate nodes introduced
+  long sop_lits = 0;    ///< flat SOP literals before optimization
+};
+
+/// Greedy shared-kernel extraction over a multi-output network followed by
+/// per-node factoring. `num_vars` is the number of original binary
+/// variables (ids < 2*num_vars).
+NetworkResult optimize_network(std::vector<Sop> outputs, int num_vars,
+                               int max_iterations = 30);
+
+}  // namespace nova::mlopt

@@ -1,0 +1,26 @@
+#include "mlopt/bridge.hpp"
+
+namespace nova::mlopt {
+
+std::vector<Sop> sops_from_cover(const logic::Cover& g, int num_binary_vars,
+                                 int num_outputs) {
+  const logic::CubeSpec& spec = g.spec();
+  const int ov = spec.num_vars() - 1;
+  std::vector<Sop> out(num_outputs);
+  for (const auto& c : g) {
+    CubeL lits;
+    for (int v = 0; v < num_binary_vars; ++v) {
+      bool v0 = c.get(spec.bit(v, 0));
+      bool v1 = c.get(spec.bit(v, 1));
+      if (v0 && !v1) lits.push_back(2 * v);
+      if (v1 && !v0) lits.push_back(2 * v + 1);
+    }
+    for (int j = 0; j < num_outputs && j < spec.size(ov); ++j) {
+      if (c.get(spec.bit(ov, j))) out[j].push_back(lits);
+    }
+  }
+  for (auto& f : out) f = normalize(std::move(f));
+  return out;
+}
+
+}  // namespace nova::mlopt

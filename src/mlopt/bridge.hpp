@@ -1,0 +1,17 @@
+// Conversion from the two-level library's covers to the algebraic SOP
+// representation used by the multilevel optimizer.
+#pragma once
+
+#include "logic/cover.hpp"
+#include "mlopt/algebraic.hpp"
+
+namespace nova::mlopt {
+
+/// Per-output SOPs of a minimized multi-output cover whose first
+/// `num_binary_vars` variables are binary and whose last variable is the
+/// output characteristic variable. Literal ids: 2*v for "variable v is 0",
+/// 2*v+1 for "variable v is 1".
+std::vector<Sop> sops_from_cover(const logic::Cover& g, int num_binary_vars,
+                                 int num_outputs);
+
+}  // namespace nova::mlopt

@@ -1,0 +1,168 @@
+#include "nova/symbolic_inputs.hpp"
+
+#include <map>
+
+#include "constraints/constraints.hpp"
+#include "encoding/hybrid.hpp"
+#include "fsm/fsm.hpp"
+#include "logic/espresso.hpp"
+
+namespace nova::driver {
+
+using constraints::InputConstraint;
+using logic::Cover;
+using logic::Cube;
+using logic::CubeSpec;
+
+SymbolicInputResult encode_with_symbolic_inputs(
+    const fsm::Fsm& fsm, const SymbolicInputOptions& opts) {
+  SymbolicInputResult res;
+  const int n = fsm.num_states();
+  const int no = fsm.num_outputs();
+  if (n == 0) return res;
+
+  // Distinct input patterns must be pairwise disjoint to act as the values
+  // of one symbolic variable.
+  std::map<std::string, int> symbol_of;
+  for (const auto& t : fsm.transitions()) {
+    if (!symbol_of.count(t.input)) {
+      int id = static_cast<int>(symbol_of.size());
+      symbol_of[t.input] = id;
+    }
+  }
+  std::vector<std::string> symbols(symbol_of.size());
+  for (const auto& [pat, id] : symbol_of) symbols[id] = pat;
+  for (size_t i = 0; i < symbols.size(); ++i) {
+    for (size_t j = i + 1; j < symbols.size(); ++j) {
+      if (fsm::input_patterns_intersect(symbols[i], symbols[j])) return res;
+    }
+  }
+  res.applied = true;
+  res.num_input_symbols = static_cast<int>(symbols.size());
+  res.input_symbols = symbols;
+  const int m = res.num_input_symbols;
+
+  // Two-multiple-valued-variable symbolic cover: (input symbol, present
+  // state) -> (next state, outputs).
+  CubeSpec spec({std::max(m, 1), std::max(n, 1), n + no});
+  Cover on(spec), dc(spec), specified(spec);
+  for (const auto& t : fsm.transitions()) {
+    Cube base = Cube::full(spec);
+    base.set_value(spec, 0, symbol_of[t.input]);
+    if (t.present >= 0) base.set_value(spec, 1, t.present);
+    specified.add(base);
+    Cube onc = base;
+    for (int k = 0; k < spec.size(2); ++k) onc.clear(spec.bit(2, k));
+    if (t.next >= 0) onc.set(spec.bit(2, t.next));
+    for (int j = 0; j < no; ++j) {
+      if (t.output[j] == '1') onc.set(spec.bit(2, n + j));
+    }
+    on.add(onc);
+    for (int j = 0; j < no; ++j) {
+      if (t.output[j] == '-') {
+        Cube d = base;
+        d.set_value(spec, 2, n + j);
+        dc.add(d);
+      }
+    }
+    if (t.next < 0) {
+      Cube d = base;
+      for (int k = 0; k < spec.size(2); ++k) d.clear(spec.bit(2, k));
+      for (int s = 0; s < n; ++s) d.set(spec.bit(2, s));
+      dc.add(d);
+    }
+  }
+  dc.add_all(logic::complement(specified));
+
+  Cover g = logic::espresso(on, dc, opts.espresso);
+
+  // Constraints on each multiple-valued variable.
+  std::vector<InputConstraint> state_ics, input_ics;
+  for (const auto& c : g) {
+    util::BitVec sv(n), iv(m);
+    for (int s = 0; s < n; ++s) {
+      if (c.get(spec.bit(1, s))) sv.set(s);
+    }
+    for (int i = 0; i < m; ++i) {
+      if (c.get(spec.bit(0, i))) iv.set(i);
+    }
+    state_ics.push_back({sv, 1});
+    input_ics.push_back({iv, 1});
+  }
+  state_ics = constraints::normalize_constraints(std::move(state_ics), n);
+  input_ics = constraints::normalize_constraints(std::move(input_ics), m);
+  res.state_constraints = static_cast<int>(state_ics.size());
+  res.input_constraints = static_cast<int>(input_ics.size());
+
+  // Embed each variable independently (two class-A problems).
+  encoding::HybridOptions sho;
+  sho.nbits = opts.state_bits;
+  sho.max_work = opts.max_work;
+  res.state_enc = encoding::ihybrid_code(state_ics, n, sho).enc;
+  encoding::HybridOptions iho;
+  iho.nbits = opts.input_bits;
+  iho.max_work = opts.max_work;
+  res.input_enc = encoding::ihybrid_code(input_ics, m, iho).enc;
+
+  // Encoded PLA: bi input bits + bs state bits -> bs next bits + outputs.
+  const int bi = res.input_enc.nbits;
+  const int bs = res.state_enc.nbits;
+  std::vector<int> esz(bi + bs, 2);
+  esz.push_back(std::max(bs + no, 1));
+  CubeSpec espec(std::move(esz));
+  const int ov = bi + bs;
+  Cover eon(espec), edc(espec), especified(espec);
+  for (const auto& t : fsm.transitions()) {
+    Cube base = Cube::full(espec);
+    uint64_t icode = res.input_enc.codes[symbol_of[t.input]];
+    for (int b = 0; b < bi; ++b)
+      base.set_value(espec, b, static_cast<int>((icode >> b) & 1));
+    if (t.present >= 0) {
+      uint64_t scode = res.state_enc.codes[t.present];
+      for (int b = 0; b < bs; ++b)
+        base.set_value(espec, bi + b, static_cast<int>((scode >> b) & 1));
+    }
+    especified.add(base);
+    Cube onc = base;
+    for (int k = 0; k < espec.size(ov); ++k) onc.clear(espec.bit(ov, k));
+    if (t.next >= 0) {
+      uint64_t ncode = res.state_enc.codes[t.next];
+      for (int b = 0; b < bs; ++b) {
+        if ((ncode >> b) & 1) onc.set(espec.bit(ov, b));
+      }
+    }
+    for (int j = 0; j < no; ++j) {
+      if (t.output[j] == '1') onc.set(espec.bit(ov, bs + j));
+    }
+    eon.add(onc);
+    for (int j = 0; j < no; ++j) {
+      if (t.output[j] == '-') {
+        Cube d = base;
+        d.set_value(espec, ov, bs + j);
+        edc.add(d);
+      }
+    }
+    if (t.next < 0 && bs > 0) {
+      Cube d = base;
+      for (int k = 0; k < espec.size(ov); ++k) d.clear(espec.bit(ov, k));
+      for (int b = 0; b < bs; ++b) d.set(espec.bit(ov, b));
+      edc.add(d);
+    }
+  }
+  edc.add_all(logic::complement(especified));
+  Cover eg = logic::espresso(eon, edc, opts.espresso);
+
+  res.metrics.nbits = bs;
+  res.metrics.cubes = eg.size();
+  res.metrics.area = pla_area(bi, bs, no, eg.size());
+  long lits = 0;
+  for (const auto& c : eg) {
+    for (int v = 0; v < bi + bs; ++v) {
+      if (!c.part_full(espec, v)) ++lits;
+    }
+  }
+  res.metrics.sop_literals = lits;
+  return res;
+}
+
+}  // namespace nova::driver

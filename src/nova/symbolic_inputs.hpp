@@ -1,0 +1,38 @@
+// Simultaneous encoding of states AND symbolic proper inputs (the paper's
+// asterisked benchmarks: "encoding of inputs and states").
+//
+// The machine's distinct input patterns are reinterpreted as the values of
+// one symbolic input variable; multiple-valued minimization then produces
+// input constraints on BOTH multi-valued variables, and each is embedded
+// independently (both are class-A problems, section 2.1). The final PLA
+// reads encoded input bits instead of the raw primary inputs.
+#pragma once
+
+#include "nova/nova.hpp"
+
+namespace nova::driver {
+
+struct SymbolicInputOptions {
+  int state_bits = 0;  ///< 0 = minimum
+  int input_bits = 0;  ///< 0 = minimum
+  long max_work = 20000;
+  logic::EspressoOptions espresso;
+};
+
+struct SymbolicInputResult {
+  /// False when the machine's input patterns overlap (no clean symbolic
+  /// reinterpretation exists); nothing else is filled in then.
+  bool applied = false;
+  int num_input_symbols = 0;
+  Encoding state_enc;
+  Encoding input_enc;  ///< codes[i] = code of the i-th input symbol
+  std::vector<std::string> input_symbols;  ///< pattern per symbol
+  PlaMetrics metrics;  ///< area uses encoded input bits, per the paper
+  int state_constraints = 0;
+  int input_constraints = 0;
+};
+
+SymbolicInputResult encode_with_symbolic_inputs(
+    const fsm::Fsm& fsm, const SymbolicInputOptions& opts = {});
+
+}  // namespace nova::driver

@@ -1,0 +1,53 @@
+#include "nova/verify.hpp"
+
+#include "util/rng.hpp"
+
+namespace nova::driver {
+
+VerifyResult verify_encoding(const fsm::Fsm& fsm, const Encoding& enc,
+                             const EvalResult& ev,
+                             const VerifyOptions& opts) {
+  VerifyResult res;
+  util::Rng rng(opts.seed);
+  int state = fsm.num_states() > 0 ? fsm.reset_state() : 0;
+  for (int i = 0; i < opts.steps; ++i) {
+    ++res.steps_run;
+    std::string in(fsm.num_inputs(), '0');
+    for (auto& c : in) c = rng.chance(0.5) ? '1' : '0';
+    auto ref = fsm.step(state, in);
+    if (!ref || ref->first < 0) {
+      ++res.unspecified_hits;
+      if (opts.restart_on_unspecified) state = fsm.reset_state();
+      continue;
+    }
+    std::string got = simulate_pla(ev, fsm, in, enc.codes[state]);
+    uint64_t ncode = 0;
+    for (int b = 0; b < enc.nbits; ++b) {
+      if (got[b] == '1') ncode |= uint64_t{1} << b;
+    }
+    if (ncode != enc.codes[ref->first]) {
+      res.equivalent = false;
+      res.detail = "next-state mismatch at step " + std::to_string(i) +
+                   " from " + fsm.state_name(state) + " input " + in;
+      return res;
+    }
+    for (int j = 0; j < fsm.num_outputs(); ++j) {
+      if (ref->second[j] != '-' && got[enc.nbits + j] != ref->second[j]) {
+        res.equivalent = false;
+        res.detail = "output " + std::to_string(j) + " mismatch at step " +
+                     std::to_string(i) + " from " + fsm.state_name(state);
+        return res;
+      }
+    }
+    state = ref->first;
+  }
+  return res;
+}
+
+VerifyResult verify_encoding(const fsm::Fsm& fsm, const Encoding& enc,
+                             const VerifyOptions& opts) {
+  EvalResult ev = evaluate_encoding(fsm, enc);
+  return verify_encoding(fsm, enc, ev, opts);
+}
+
+}  // namespace nova::driver

@@ -1,0 +1,180 @@
+// Dynamic fixed-width bit vector used for state sets and cube storage.
+//
+// A BitVec owns `nbits` bits packed into 64-bit words. All bitwise
+// operations require operands of the same width; this is asserted in
+// debug builds. Bits beyond `nbits` in the last word are kept zero as a
+// class invariant, so word-level comparisons and popcounts are exact.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace nova::util {
+
+class BitVec {
+ public:
+  BitVec() = default;
+  explicit BitVec(int nbits) : nbits_(nbits), words_((nbits + 63) / 64, 0) {
+    assert(nbits >= 0);
+  }
+
+  /// Builds a BitVec from a 0/1 string, e.g. "1010". str[0] is bit 0.
+  static BitVec from_string(const std::string& s) {
+    BitVec v(static_cast<int>(s.size()));
+    for (int i = 0; i < static_cast<int>(s.size()); ++i) {
+      assert(s[i] == '0' || s[i] == '1');
+      if (s[i] == '1') v.set(i);
+    }
+    return v;
+  }
+
+  int size() const { return nbits_; }
+  bool empty_width() const { return nbits_ == 0; }
+
+  bool get(int i) const {
+    assert(i >= 0 && i < nbits_);
+    return (words_[i >> 6] >> (i & 63)) & 1u;
+  }
+  void set(int i) {
+    assert(i >= 0 && i < nbits_);
+    words_[i >> 6] |= (uint64_t{1} << (i & 63));
+  }
+  void clear(int i) {
+    assert(i >= 0 && i < nbits_);
+    words_[i >> 6] &= ~(uint64_t{1} << (i & 63));
+  }
+  void assign(int i, bool v) { v ? set(i) : clear(i); }
+
+  void set_all() {
+    for (auto& w : words_) w = ~uint64_t{0};
+    mask_tail();
+  }
+  void clear_all() {
+    for (auto& w : words_) w = 0;
+  }
+
+  int count() const {
+    int c = 0;
+    for (uint64_t w : words_) c += __builtin_popcountll(w);
+    return c;
+  }
+  bool none() const {
+    for (uint64_t w : words_) {
+      if (w != 0) return false;
+    }
+    return true;
+  }
+  bool any() const { return !none(); }
+  bool all() const { return count() == nbits_; }
+
+  /// Index of the lowest set bit, or -1 if none.
+  int first() const {
+    for (size_t wi = 0; wi < words_.size(); ++wi) {
+      if (words_[wi] != 0)
+        return static_cast<int>(wi * 64 + __builtin_ctzll(words_[wi]));
+    }
+    return -1;
+  }
+
+  /// Index of the lowest set bit at position >= i, or -1 if none.
+  int next(int i) const {
+    if (i >= nbits_) return -1;
+    size_t wi = static_cast<size_t>(i) >> 6;
+    uint64_t w = words_[wi] & (~uint64_t{0} << (i & 63));
+    while (true) {
+      if (w != 0) return static_cast<int>(wi * 64 + __builtin_ctzll(w));
+      if (++wi >= words_.size()) return -1;
+      w = words_[wi];
+    }
+  }
+
+  BitVec& operator&=(const BitVec& o) {
+    assert(nbits_ == o.nbits_);
+    for (size_t i = 0; i < words_.size(); ++i) words_[i] &= o.words_[i];
+    return *this;
+  }
+  BitVec& operator|=(const BitVec& o) {
+    assert(nbits_ == o.nbits_);
+    for (size_t i = 0; i < words_.size(); ++i) words_[i] |= o.words_[i];
+    return *this;
+  }
+  BitVec& operator^=(const BitVec& o) {
+    assert(nbits_ == o.nbits_);
+    for (size_t i = 0; i < words_.size(); ++i) words_[i] ^= o.words_[i];
+    return *this;
+  }
+  /// Removes from *this every bit set in `o`.
+  BitVec& subtract(const BitVec& o) {
+    assert(nbits_ == o.nbits_);
+    for (size_t i = 0; i < words_.size(); ++i) words_[i] &= ~o.words_[i];
+    return *this;
+  }
+  void flip_all() {
+    for (auto& w : words_) w = ~w;
+    mask_tail();
+  }
+
+  friend BitVec operator&(BitVec a, const BitVec& b) { return a &= b; }
+  friend BitVec operator|(BitVec a, const BitVec& b) { return a |= b; }
+  friend BitVec operator^(BitVec a, const BitVec& b) { return a ^= b; }
+
+  bool operator==(const BitVec& o) const {
+    return nbits_ == o.nbits_ && words_ == o.words_;
+  }
+  bool operator!=(const BitVec& o) const { return !(*this == o); }
+  /// Lexicographic-by-word order; usable as a map key.
+  bool operator<(const BitVec& o) const {
+    if (nbits_ != o.nbits_) return nbits_ < o.nbits_;
+    return words_ < o.words_;
+  }
+
+  /// True iff every bit of `o` is also set in *this.
+  bool contains(const BitVec& o) const {
+    assert(nbits_ == o.nbits_);
+    for (size_t i = 0; i < words_.size(); ++i) {
+      if ((words_[i] & o.words_[i]) != o.words_[i]) return false;
+    }
+    return true;
+  }
+  bool intersects(const BitVec& o) const {
+    assert(nbits_ == o.nbits_);
+    for (size_t i = 0; i < words_.size(); ++i) {
+      if ((words_[i] & o.words_[i]) != 0) return true;
+    }
+    return false;
+  }
+
+  std::string to_string() const {
+    std::string s(nbits_, '0');
+    for (int i = 0; i < nbits_; ++i) {
+      if (get(i)) s[i] = '1';
+    }
+    return s;
+  }
+
+  size_t hash() const {
+    uint64_t h = 0x9e3779b97f4a7c15ull ^ static_cast<uint64_t>(nbits_);
+    for (uint64_t w : words_) {
+      h ^= w + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+    }
+    return static_cast<size_t>(h);
+  }
+
+ private:
+  void mask_tail() {
+    if (nbits_ % 64 != 0 && !words_.empty()) {
+      words_.back() &= (~uint64_t{0}) >> (64 - (nbits_ % 64));
+    }
+  }
+
+  int nbits_ = 0;
+  std::vector<uint64_t> words_;
+};
+
+struct BitVecHash {
+  size_t operator()(const BitVec& v) const { return v.hash(); }
+};
+
+}  // namespace nova::util

@@ -1,0 +1,59 @@
+// Deterministic, seedable pseudo-random generator (xoshiro256**).
+//
+// Every randomized algorithm in the library takes an explicit seed so that
+// benchmark tables are reproducible run to run; std::mt19937 is avoided only
+// to keep the state small and the header self-contained.
+#pragma once
+
+#include <cstdint>
+
+namespace nova::util {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x5eed5eed5eed5eedULL) {
+    // splitmix64 seeding
+    uint64_t x = seed;
+    for (auto& si : s_) {
+      x += 0x9e3779b97f4a7c15ULL;
+      uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      si = z ^ (z >> 31);
+    }
+  }
+
+  uint64_t next() {
+    auto rotl = [](uint64_t v, int k) { return (v << k) | (v >> (64 - k)); };
+    const uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, n). n must be > 0.
+  int uniform(int n) { return static_cast<int>(next() % static_cast<uint64_t>(n)); }
+
+  /// Uniform double in [0, 1).
+  double uniform01() { return static_cast<double>(next() >> 11) * 0x1.0p-53; }
+
+  bool chance(double p) { return uniform01() < p; }
+
+  template <typename Vec>
+  void shuffle(Vec& v) {
+    for (int i = static_cast<int>(v.size()) - 1; i > 0; --i) {
+      int j = uniform(i + 1);
+      std::swap(v[i], v[j]);
+    }
+  }
+
+ private:
+  uint64_t s_[4];
+};
+
+}  // namespace nova::util

@@ -1,0 +1,71 @@
+#include "encoding/analysis.hpp"
+
+#include <gtest/gtest.h>
+
+#include "fsm/dot_export.hpp"
+#include "fsm/kiss_io.hpp"
+
+using namespace nova;
+using namespace nova::encoding;
+using nova::constraints::make_constraint;
+
+TEST(Analysis, ReportsSatisfiedAndViolated) {
+  Encoding enc;
+  enc.nbits = 2;
+  enc.codes = {0b00, 0b01, 0b11};
+  std::vector<InputConstraint> ics = {make_constraint("110", 2),
+                                      make_constraint("101", 3)};
+  auto rep = analyze_encoding(enc, ics);
+  ASSERT_EQ(rep.constraints.size(), 2u);
+  EXPECT_TRUE(rep.constraints[0].satisfied);   // 00,01 span 0x, 11 outside
+  EXPECT_FALSE(rep.constraints[1].satisfied);  // 00,11 span xx, 01 inside
+  ASSERT_EQ(rep.constraints[1].intruders.size(), 1u);
+  EXPECT_EQ(rep.constraints[1].intruders[0], 1);
+  EXPECT_EQ(rep.satisfied, 1);
+  EXPECT_EQ(rep.weight_satisfied, 2);
+  EXPECT_EQ(rep.weight_total, 5);
+  EXPECT_EQ(rep.unused_codes, 1);
+}
+
+TEST(Analysis, DistanceHistogram) {
+  Encoding enc;
+  enc.nbits = 2;
+  enc.codes = {0b00, 0b01, 0b11};
+  auto rep = analyze_encoding(enc, {});
+  // Pairs: (00,01)=1, (00,11)=2, (01,11)=1.
+  ASSERT_EQ(rep.distance_histogram.size(), 3u);
+  EXPECT_EQ(rep.distance_histogram[1], 2);
+  EXPECT_EQ(rep.distance_histogram[2], 1);
+}
+
+TEST(Analysis, FormatMentionsViolations) {
+  Encoding enc;
+  enc.nbits = 2;
+  enc.codes = {0b00, 0b01, 0b11};
+  std::vector<InputConstraint> ics = {make_constraint("101", 1)};
+  auto rep = analyze_encoding(enc, ics);
+  std::string text = format_report(rep, enc, {"alpha", "beta", "gamma"});
+  EXPECT_NE(text.find("VIOL"), std::string::npos);
+  EXPECT_NE(text.find("beta"), std::string::npos);  // the intruder by name
+}
+
+TEST(DotExport, FsmGraph) {
+  auto f = fsm::parse_kiss_string(
+      ".i 1\n.o 1\n.r a\n0 a b 1\n1 b a 0\n.e\n");
+  std::string dot = fsm::to_dot(f);
+  EXPECT_NE(dot.find("digraph"), std::string::npos);
+  EXPECT_NE(dot.find("\"a\" -> \"b\""), std::string::npos);
+  EXPECT_NE(dot.find("peripheries=2"), std::string::npos);  // reset state
+  EXPECT_NE(dot.find("0/1"), std::string::npos);
+}
+
+TEST(DotExport, CoveringDag) {
+  auto f = fsm::parse_kiss_string(".i 1\n.o 1\n0 a b 1\n1 b a 0\n.e\n");
+  nova::constraints::OutputCluster c;
+  c.next_state = 0;
+  c.weight = 3;
+  c.edges = {{1, 0}};
+  std::string dot = fsm::covering_dag_to_dot(f, {c});
+  EXPECT_NE(dot.find("\"b\" -> \"a\""), std::string::npos);
+  EXPECT_NE(dot.find("w=3"), std::string::npos);
+}

@@ -1,0 +1,151 @@
+#include "encoding/baselines.hpp"
+
+#include <gtest/gtest.h>
+
+#include "fsm/kiss_io.hpp"
+#include "util/rng.hpp"
+
+using namespace nova::encoding;
+using nova::constraints::make_constraint;
+using nova::util::BitVec;
+using nova::util::Rng;
+
+namespace {
+const char* kSmall =
+    ".i 1\n.o 1\n"
+    "0 a a 0\n"
+    "1 a b 0\n"
+    "0 b c 1\n"
+    "1 b a 1\n"
+    "0 c c 1\n"
+    "1 c d 0\n"
+    "0 d a 1\n"
+    "1 d b 0\n"
+    ".e\n";
+}  // namespace
+
+TEST(RandomEncoding, InjectiveAndInRange) {
+  Rng rng(3);
+  for (int trial = 0; trial < 20; ++trial) {
+    int n = 2 + rng.uniform(20);
+    int k = min_code_length(n) + rng.uniform(3);
+    Encoding e = random_encoding(n, k, rng);
+    EXPECT_TRUE(e.injective());
+    EXPECT_EQ(e.nbits, k);
+    for (uint64_t c : e.codes) EXPECT_LT(c, uint64_t{1} << k);
+  }
+}
+
+TEST(RandomEncoding, WidePathInjective) {
+  Rng rng(4);
+  Encoding e = random_encoding(50, 25, rng);
+  EXPECT_TRUE(e.injective());
+}
+
+TEST(RandomEncoding, Deterministic) {
+  Rng a(9), b(9);
+  Encoding ea = random_encoding(10, 4, a);
+  Encoding eb = random_encoding(10, 4, b);
+  EXPECT_EQ(ea.codes, eb.codes);
+}
+
+TEST(KissCode, SatisfiesAllConstraints) {
+  Rng rng(41);
+  for (int trial = 0; trial < 20; ++trial) {
+    int n = 4 + rng.uniform(8);
+    std::vector<InputConstraint> ics;
+    for (int i = 0; i < 6; ++i) {
+      BitVec s(n);
+      for (int b = 0; b < n; ++b) {
+        if (rng.chance(0.35)) s.set(b);
+      }
+      if (s.count() >= 2 && s.count() < n) ics.push_back({s, 1});
+    }
+    KissResult r = kiss_code(ics, n);
+    EXPECT_TRUE(r.all_satisfied) << "trial " << trial;
+    EXPECT_TRUE(r.enc.injective());
+    for (const auto& ic : ics) {
+      EXPECT_TRUE(constraint_satisfied(r.enc, ic)) << "trial " << trial;
+    }
+    EXPECT_GE(r.nbits, min_code_length(n));
+  }
+}
+
+TEST(KissCode, NoConstraintsUsesMinimumLength) {
+  KissResult r = kiss_code({}, 6);
+  EXPECT_TRUE(r.all_satisfied);
+  EXPECT_EQ(r.nbits, 3);
+}
+
+TEST(Mustang, WeightsSymmetricNonnegative) {
+  auto f = nova::fsm::parse_kiss_string(kSmall, "small");
+  for (auto variant : {MustangVariant::kFanout, MustangVariant::kFanin}) {
+    auto w = mustang_weights(f, variant);
+    int n = f.num_states();
+    for (int u = 0; u < n; ++u) {
+      EXPECT_EQ(w[u][u], 0);
+      for (int v = 0; v < n; ++v) {
+        EXPECT_EQ(w[u][v], w[v][u]);
+        EXPECT_GE(w[u][v], 0);
+      }
+    }
+  }
+}
+
+TEST(Mustang, FanoutRewardsCommonNextState) {
+  // a and b both go to c on some input; their weight must be positive.
+  nova::fsm::Fsm f(1, 0);
+  f.add_transition("1", "a", "c", "");
+  f.add_transition("1", "b", "c", "");
+  f.add_transition("0", "c", "a", "");
+  auto w = mustang_weights(f, MustangVariant::kFanout);
+  int a = *f.find_state("a"), b = *f.find_state("b");
+  EXPECT_GT(w[a][b], 0);
+}
+
+TEST(Mustang, FaninRewardsCommonPredecessor) {
+  nova::fsm::Fsm f(1, 0);
+  f.add_transition("0", "p", "u", "");
+  f.add_transition("1", "p", "v", "");
+  f.add_transition("-", "u", "p", "");
+  f.add_transition("-", "v", "p", "");
+  auto w = mustang_weights(f, MustangVariant::kFanin);
+  int u = *f.find_state("u"), v = *f.find_state("v");
+  EXPECT_GT(w[u][v], 0);
+}
+
+TEST(Mustang, EncodingInjectiveAndImproves) {
+  auto f = nova::fsm::parse_kiss_string(kSmall, "small");
+  Rng rng(11);
+  Encoding e = mustang_code(f, 2, MustangVariant::kFanout, rng);
+  EXPECT_TRUE(e.injective());
+  EXPECT_EQ(e.nbits, 2);
+  // Hill-climbed cost must not exceed the average random cost.
+  auto w = mustang_weights(f, MustangVariant::kFanout);
+  long mcost = weighted_hamming_cost(e, w);
+  long rcost = 0;
+  int trials = 20;
+  Rng rng2(12);
+  for (int i = 0; i < trials; ++i) {
+    Encoding r = random_encoding(f.num_states(), 2, rng2);
+    rcost += weighted_hamming_cost(r, w);
+  }
+  EXPECT_LE(mcost, rcost / trials);
+}
+
+TEST(Mustang, LargerStateCount) {
+  // 10-state ring; fanin/fanout weights and the embedding must stay sane.
+  nova::fsm::Fsm f(1, 1);
+  for (int i = 0; i < 10; ++i) {
+    std::string cur = "s" + std::to_string(i);
+    std::string nxt = "s" + std::to_string((i + 1) % 10);
+    f.add_transition("1", cur, nxt, i % 2 ? "1" : "0");
+    f.add_transition("0", cur, cur, "0");
+  }
+  Rng rng(21);
+  for (auto variant : {MustangVariant::kFanout, MustangVariant::kFanin}) {
+    Encoding e = mustang_code(f, 4, variant, rng);
+    EXPECT_TRUE(e.injective());
+    EXPECT_EQ(e.nbits, 4);
+  }
+}

@@ -1,0 +1,157 @@
+#include "util/bitvec.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+using nova::util::BitVec;
+using nova::util::Rng;
+
+TEST(BitVec, DefaultIsEmptyWidth) {
+  BitVec v;
+  EXPECT_EQ(v.size(), 0);
+  EXPECT_TRUE(v.none());
+  EXPECT_EQ(v.count(), 0);
+}
+
+TEST(BitVec, SetGetClear) {
+  BitVec v(130);
+  EXPECT_EQ(v.size(), 130);
+  v.set(0);
+  v.set(64);
+  v.set(129);
+  EXPECT_TRUE(v.get(0));
+  EXPECT_TRUE(v.get(64));
+  EXPECT_TRUE(v.get(129));
+  EXPECT_FALSE(v.get(1));
+  EXPECT_EQ(v.count(), 3);
+  v.clear(64);
+  EXPECT_FALSE(v.get(64));
+  EXPECT_EQ(v.count(), 2);
+}
+
+TEST(BitVec, SetAllMasksTail) {
+  BitVec v(70);
+  v.set_all();
+  EXPECT_EQ(v.count(), 70);
+  EXPECT_TRUE(v.all());
+  v.flip_all();
+  EXPECT_TRUE(v.none());
+}
+
+TEST(BitVec, FlipAllTwiceIsIdentity) {
+  BitVec v(90);
+  v.set(3);
+  v.set(89);
+  BitVec w = v;
+  w.flip_all();
+  w.flip_all();
+  EXPECT_EQ(v, w);
+}
+
+TEST(BitVec, FromStringRoundTrip) {
+  std::string s = "1010011";
+  BitVec v = BitVec::from_string(s);
+  EXPECT_EQ(v.to_string(), s);
+  EXPECT_EQ(v.count(), 4);
+}
+
+TEST(BitVec, BitwiseOps) {
+  BitVec a = BitVec::from_string("1100");
+  BitVec b = BitVec::from_string("1010");
+  EXPECT_EQ((a & b).to_string(), "1000");
+  EXPECT_EQ((a | b).to_string(), "1110");
+  EXPECT_EQ((a ^ b).to_string(), "0110");
+  BitVec c = a;
+  c.subtract(b);
+  EXPECT_EQ(c.to_string(), "0100");
+}
+
+TEST(BitVec, ContainsAndIntersects) {
+  BitVec a = BitVec::from_string("1110");
+  BitVec b = BitVec::from_string("0110");
+  BitVec c = BitVec::from_string("0001");
+  EXPECT_TRUE(a.contains(b));
+  EXPECT_FALSE(b.contains(a));
+  EXPECT_TRUE(a.contains(a));
+  EXPECT_TRUE(a.intersects(b));
+  EXPECT_FALSE(a.intersects(c));
+  EXPECT_FALSE(c.intersects(b));
+}
+
+TEST(BitVec, FirstAndNext) {
+  BitVec v(200);
+  EXPECT_EQ(v.first(), -1);
+  v.set(5);
+  v.set(70);
+  v.set(199);
+  EXPECT_EQ(v.first(), 5);
+  EXPECT_EQ(v.next(0), 5);
+  EXPECT_EQ(v.next(5), 5);
+  EXPECT_EQ(v.next(6), 70);
+  EXPECT_EQ(v.next(71), 199);
+  EXPECT_EQ(v.next(200), -1);
+}
+
+TEST(BitVec, IterationMatchesCount) {
+  Rng rng(42);
+  BitVec v(300);
+  int expected = 0;
+  for (int i = 0; i < 300; ++i) {
+    if (rng.chance(0.3)) {
+      v.set(i);
+      ++expected;
+    }
+  }
+  int seen = 0;
+  for (int i = v.first(); i >= 0; i = v.next(i + 1)) ++seen;
+  EXPECT_EQ(seen, expected);
+  EXPECT_EQ(v.count(), expected);
+}
+
+TEST(BitVec, EqualityAndOrdering) {
+  BitVec a = BitVec::from_string("101");
+  BitVec b = BitVec::from_string("101");
+  BitVec c = BitVec::from_string("011");
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_TRUE(a < c || c < a);
+}
+
+TEST(BitVec, HashDiffersForDifferentContent) {
+  BitVec a = BitVec::from_string("10101010");
+  BitVec b = BitVec::from_string("01010101");
+  EXPECT_NE(a.hash(), b.hash());
+  BitVec c = a;
+  EXPECT_EQ(a.hash(), c.hash());
+}
+
+TEST(BitVec, SubtractAliasesSafely) {
+  BitVec a = BitVec::from_string("1111");
+  a.subtract(a);
+  EXPECT_TRUE(a.none());
+}
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(7), b(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(RngTest, UniformInRange) {
+  Rng r(9);
+  for (int i = 0; i < 1000; ++i) {
+    int x = r.uniform(13);
+    EXPECT_GE(x, 0);
+    EXPECT_LT(x, 13);
+  }
+}
+
+TEST(RngTest, ShuffleIsPermutation) {
+  Rng r(11);
+  std::vector<int> v(50);
+  for (int i = 0; i < 50; ++i) v[i] = i;
+  auto w = v;
+  r.shuffle(w);
+  std::sort(w.begin(), w.end());
+  EXPECT_EQ(v, w);
+}

@@ -1,0 +1,214 @@
+#include "logic/cover.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+using namespace nova::logic;
+using nova::util::Rng;
+
+namespace {
+
+CubeSpec bspec(int n) { return CubeSpec::binary(n); }
+
+/// Builds a cover over binary variables from PLA-style rows ("0-1", ...).
+Cover from_pla(const CubeSpec& s, std::initializer_list<const char*> rows) {
+  Cover c(s);
+  for (const char* r : rows) {
+    Cube q = Cube::full(s);
+    q.set_binary_from_pla(s, 0, r);
+    c.add(q);
+  }
+  return c;
+}
+
+/// Enumerates all minterms of a binary spec; returns true iff F covers m.
+bool truth(const Cover& F, unsigned m, int n) {
+  Cube q = Cube::full(F.spec());
+  std::string s(n, '0');
+  for (int i = 0; i < n; ++i) s[i] = (m >> i) & 1 ? '1' : '0';
+  q.set_binary_from_pla(F.spec(), 0, s);
+  return covers_minterm(F, q);
+}
+
+}  // namespace
+
+TEST(Cover, AddDropsEmptyCubes) {
+  CubeSpec s = bspec(2);
+  Cover F(s);
+  Cube empty(s);
+  F.add(empty);
+  EXPECT_TRUE(F.empty());
+}
+
+TEST(Cover, MakeSccRemovesContained) {
+  CubeSpec s = bspec(3);
+  Cover F = from_pla(s, {"0--", "01-", "011", "1--"});
+  F.make_scc();
+  EXPECT_EQ(F.size(), 2);
+}
+
+TEST(Cover, TautologyOfUniverse) {
+  CubeSpec s = bspec(3);
+  Cover F = from_pla(s, {"---"});
+  EXPECT_TRUE(tautology(F));
+}
+
+TEST(Cover, TautologyOfComplementaryPair) {
+  CubeSpec s = bspec(3);
+  Cover F = from_pla(s, {"0--", "1--"});
+  EXPECT_TRUE(tautology(F));
+}
+
+TEST(Cover, NonTautology) {
+  CubeSpec s = bspec(3);
+  Cover F = from_pla(s, {"0--", "10-"});
+  EXPECT_FALSE(tautology(F));
+}
+
+TEST(Cover, TautologyEmptyCover) {
+  CubeSpec s = bspec(2);
+  Cover F(s);
+  EXPECT_FALSE(tautology(F));
+}
+
+TEST(Cover, TautologyXorStyle) {
+  CubeSpec s = bspec(2);
+  // x^y plus its complement is a tautology.
+  Cover F = from_pla(s, {"01", "10", "00", "11"});
+  EXPECT_TRUE(tautology(F));
+  Cover G = from_pla(s, {"01", "10", "00"});
+  EXPECT_FALSE(tautology(G));
+}
+
+TEST(Cover, TautologyMvSpace) {
+  CubeSpec s({3});  // single 3-valued variable
+  Cover F(s);
+  F.add(Cube::from_bits(s, "110"));
+  EXPECT_FALSE(tautology(F));
+  F.add(Cube::from_bits(s, "001"));
+  EXPECT_TRUE(tautology(F));
+}
+
+TEST(Cover, CoversCube) {
+  CubeSpec s = bspec(3);
+  Cover F = from_pla(s, {"0--", "11-"});
+  Cube c = Cube::full(s);
+  c.set_binary_from_pla(s, 0, "01-");
+  EXPECT_TRUE(covers_cube(F, c));
+  Cube d = Cube::full(s);
+  d.set_binary_from_pla(s, 0, "1--");
+  EXPECT_FALSE(covers_cube(F, d));
+}
+
+TEST(Cover, CoversCubeNeedsMultipleCubes) {
+  CubeSpec s = bspec(2);
+  // F = {00,01,10,11} as minterms covers the universe cube though no single
+  // cube does.
+  Cover F = from_pla(s, {"00", "01", "10", "11"});
+  Cube u = Cube::full(s);
+  EXPECT_TRUE(covers_cube(F, u));
+}
+
+TEST(Cover, ComplementOfEmptyIsUniverse) {
+  CubeSpec s = bspec(3);
+  Cover F(s);
+  Cover C = complement(F);
+  ASSERT_EQ(C.size(), 1);
+  EXPECT_TRUE(C[0].is_full(s));
+}
+
+TEST(Cover, ComplementOfUniverseIsEmpty) {
+  CubeSpec s = bspec(3);
+  Cover F = from_pla(s, {"---"});
+  EXPECT_TRUE(complement(F).empty());
+}
+
+TEST(Cover, ComplementSingleCube) {
+  CubeSpec s = bspec(2);
+  Cover F = from_pla(s, {"01"});
+  Cover C = complement(F);
+  // Union of F and C must be a tautology and they must be disjoint in truth.
+  Cover U = F;
+  U.add_all(C);
+  EXPECT_TRUE(tautology(U));
+  for (unsigned m = 0; m < 4; ++m)
+    EXPECT_NE(truth(F, m, 2), truth(C, m, 2));
+}
+
+TEST(Cover, ComplementRandomFunctionsExact) {
+  // Property: for random covers, complement partitions the truth table.
+  Rng rng(123);
+  for (int trial = 0; trial < 30; ++trial) {
+    int n = 3 + rng.uniform(3);  // 3..5 vars
+    CubeSpec s = bspec(n);
+    Cover F(s);
+    int ncubes = 1 + rng.uniform(5);
+    for (int i = 0; i < ncubes; ++i) {
+      std::string row(n, '-');
+      for (int j = 0; j < n; ++j) {
+        int r = rng.uniform(3);
+        row[j] = r == 0 ? '0' : (r == 1 ? '1' : '-');
+      }
+      Cube q = Cube::full(s);
+      q.set_binary_from_pla(s, 0, row);
+      F.add(q);
+    }
+    Cover C = complement(F);
+    for (unsigned m = 0; m < (1u << n); ++m) {
+      EXPECT_NE(truth(F, m, n), truth(C, m, n))
+          << "trial " << trial << " minterm " << m;
+    }
+  }
+}
+
+TEST(Cover, ComplementMvCover) {
+  CubeSpec s({2, 4});
+  Cover F(s);
+  F.add(Cube::from_bits(s, "10|1100"));
+  F.add(Cube::from_bits(s, "01|0011"));
+  Cover C = complement(F);
+  Cover U = F;
+  U.add_all(C);
+  EXPECT_TRUE(tautology(U));
+  // Disjointness check via intersection emptiness of each pair.
+  for (const Cube& f : F) {
+    for (const Cube& c : C) {
+      EXPECT_FALSE(f.intersects(s, c));
+    }
+  }
+}
+
+TEST(Cover, SupercubeOf) {
+  CubeSpec s = bspec(3);
+  Cover F = from_pla(s, {"001", "011"});
+  Cube sc = supercube_of(F);
+  EXPECT_EQ(sc.to_string(s), "10|11|01");
+}
+
+TEST(Cover, CountMintermsExact) {
+  CubeSpec s = bspec(4);
+  Cover F = from_pla(s, {"0---", "10--"});
+  EXPECT_DOUBLE_EQ(static_cast<double>(count_minterms(F)), 12.0);
+  Cover G = from_pla(s, {"0---", "----"});
+  EXPECT_DOUBLE_EQ(static_cast<double>(count_minterms(G)), 16.0);
+}
+
+TEST(Cover, CofactorDropsDisjointCubes) {
+  CubeSpec s = bspec(2);
+  Cover F = from_pla(s, {"0-", "11"});
+  Cube p = Cube::full(s);
+  p.set_binary_from_pla(s, 0, "1-");
+  Cover cf = cofactor(F, p);
+  ASSERT_EQ(cf.size(), 1);
+  EXPECT_EQ(cf[0].to_string(s), "11|01");
+}
+
+TEST(Cover, CoversCoverReflexive) {
+  CubeSpec s = bspec(3);
+  Cover F = from_pla(s, {"0--", "1-1"});
+  EXPECT_TRUE(covers_cover(F, F));
+  Cover G = from_pla(s, {"0-1"});
+  EXPECT_TRUE(covers_cover(F, G));
+  EXPECT_FALSE(covers_cover(G, F));
+}

@@ -1,0 +1,136 @@
+#include "logic/cube.hpp"
+
+#include <gtest/gtest.h>
+
+using namespace nova::logic;
+
+namespace {
+// Two binary variables and one 3-valued variable: bits [ab][cd][efg].
+CubeSpec make_spec() { return CubeSpec({2, 2, 3}); }
+}  // namespace
+
+TEST(CubeSpec, LayoutOffsets) {
+  CubeSpec s = make_spec();
+  EXPECT_EQ(s.num_vars(), 3);
+  EXPECT_EQ(s.total_bits(), 7);
+  EXPECT_EQ(s.offset(0), 0);
+  EXPECT_EQ(s.offset(1), 2);
+  EXPECT_EQ(s.offset(2), 4);
+  EXPECT_EQ(s.bit(2, 2), 6);
+  EXPECT_TRUE(s.is_binary(0));
+  EXPECT_FALSE(s.is_binary(2));
+}
+
+TEST(CubeSpec, BinaryFactory) {
+  CubeSpec s = CubeSpec::binary(4);
+  EXPECT_EQ(s.num_vars(), 4);
+  EXPECT_EQ(s.total_bits(), 8);
+}
+
+TEST(Cube, FullCube) {
+  CubeSpec s = make_spec();
+  Cube f = Cube::full(s);
+  EXPECT_TRUE(f.is_full(s));
+  EXPECT_TRUE(f.nonempty(s));
+  for (int v = 0; v < 3; ++v) EXPECT_TRUE(f.part_full(s, v));
+  EXPECT_EQ(f.minterms(s), 2.0L * 2 * 3);
+}
+
+TEST(Cube, FromBitsAndToString) {
+  CubeSpec s = make_spec();
+  Cube c = Cube::from_bits(s, "10|11|010");
+  EXPECT_EQ(c.to_string(s), "10|11|010");
+  EXPECT_TRUE(c.part_full(s, 1));
+  EXPECT_FALSE(c.part_full(s, 0));
+  EXPECT_EQ(c.part_count(s, 2), 1);
+}
+
+TEST(Cube, SetValueAndSetFull) {
+  CubeSpec s = make_spec();
+  Cube c = Cube::full(s);
+  c.set_value(s, 2, 1);
+  EXPECT_EQ(c.to_string(s), "11|11|010");
+  c.set_full(s, 2);
+  EXPECT_TRUE(c.is_full(s));
+}
+
+TEST(Cube, EmptyPartMeansEmptyCube) {
+  CubeSpec s = make_spec();
+  Cube c(s);  // all zero
+  EXPECT_FALSE(c.nonempty(s));
+  c.set(0);
+  EXPECT_FALSE(c.nonempty(s));  // vars 1,2 still empty
+  c.set(2);
+  c.set(4);
+  EXPECT_TRUE(c.nonempty(s));
+}
+
+TEST(Cube, Containment) {
+  CubeSpec s = make_spec();
+  Cube big = Cube::from_bits(s, "11|11|110");
+  Cube small = Cube::from_bits(s, "10|11|010");
+  EXPECT_TRUE(big.contains(small));
+  EXPECT_FALSE(small.contains(big));
+  EXPECT_TRUE(big.contains(big));
+}
+
+TEST(Cube, IntersectionEmptyAndNonempty) {
+  CubeSpec s = make_spec();
+  Cube a = Cube::from_bits(s, "10|11|100");
+  Cube b = Cube::from_bits(s, "01|11|110");
+  EXPECT_FALSE(a.intersects(s, b));  // var 0 disjoint
+  Cube c = Cube::from_bits(s, "11|11|110");
+  EXPECT_TRUE(a.intersects(s, c));
+  Cube i = a.intersect(c);
+  EXPECT_EQ(i.to_string(s), "10|11|100");
+}
+
+TEST(Cube, Supercube) {
+  CubeSpec s = make_spec();
+  Cube a = Cube::from_bits(s, "10|10|100");
+  Cube b = Cube::from_bits(s, "01|10|010");
+  EXPECT_EQ(a.supercube(b).to_string(s), "11|10|110");
+}
+
+TEST(Cube, Distance) {
+  CubeSpec s = make_spec();
+  Cube a = Cube::from_bits(s, "10|10|100");
+  Cube b = Cube::from_bits(s, "01|01|010");
+  EXPECT_EQ(a.distance(s, b), 3);
+  Cube c = Cube::from_bits(s, "11|10|100");
+  EXPECT_EQ(a.distance(s, c), 0);
+  Cube d = Cube::from_bits(s, "01|10|100");
+  EXPECT_EQ(a.distance(s, d), 1);
+}
+
+TEST(Cube, CofactorAgainstValue) {
+  CubeSpec s = make_spec();
+  // Cofactor of a|b|e-cube against var0 = value 0.
+  Cube c = Cube::from_bits(s, "10|01|110");
+  Cube p = Cube::full(s);
+  p.set_value(s, 0, 0);
+  ASSERT_EQ(c.distance(s, p), 0);
+  Cube cf = c.cofactor(s, p);
+  // The cofactored cube is full in var0 and unchanged elsewhere.
+  EXPECT_EQ(cf.to_string(s), "11|01|110");
+}
+
+TEST(Cube, CofactorIdentityWithUniverse) {
+  CubeSpec s = make_spec();
+  Cube c = Cube::from_bits(s, "10|01|110");
+  Cube u = Cube::full(s);
+  EXPECT_EQ(c.cofactor(s, u), c);
+}
+
+TEST(Cube, BinaryPlaParsing) {
+  CubeSpec s = CubeSpec::binary(3);
+  Cube c = Cube::full(s);
+  c.set_binary_from_pla(s, 0, "0-1");
+  EXPECT_EQ(c.to_string(s), "10|11|01");
+}
+
+TEST(Cube, WeightCountsSetBits) {
+  CubeSpec s = make_spec();
+  EXPECT_EQ(Cube::full(s).weight(), 7);
+  EXPECT_EQ(Cube::from_bits(s, "10|10|100").weight(), 3);
+}

@@ -1,0 +1,77 @@
+#include "constraints/disjoint_min.hpp"
+
+#include <gtest/gtest.h>
+
+#include "bench_data/benchmarks.hpp"
+#include "fsm/kiss_io.hpp"
+#include "util/rng.hpp"
+
+using namespace nova;
+using nova::util::Rng;
+
+TEST(DisjointMin, MergesMergeableRows) {
+  fsm::Fsm f(2, 1);
+  f.add_transition("00", "a", "b", "1");
+  f.add_transition("01", "a", "b", "1");  // merges with 00 -> 0-
+  f.add_transition("1-", "a", "a", "0");
+  f.add_transition("--", "b", "a", "0");
+  auto r = constraints::disjoint_minimize(f);
+  EXPECT_EQ(r.rows_before, 4);
+  EXPECT_EQ(r.rows_after, 3);
+  EXPECT_EQ(r.fsm.num_states(), 2);
+}
+
+TEST(DisjointMin, NeverMergesAcrossBehaviours) {
+  fsm::Fsm f(1, 1);
+  f.add_transition("0", "a", "b", "1");
+  f.add_transition("1", "a", "c", "1");  // different next state
+  auto r = constraints::disjoint_minimize(f);
+  EXPECT_EQ(r.rows_after, 2);
+}
+
+TEST(DisjointMin, BehaviourPreservedOnBenchmarks) {
+  Rng rng(606);
+  for (const char* name : {"lion", "bbtas", "train11", "beecount"}) {
+    auto f = bench_data::load_benchmark(name);
+    auto r = constraints::disjoint_minimize(f);
+    EXPECT_LE(r.rows_after, r.rows_before) << name;
+    // Random co-simulation.
+    int sa = f.reset_state(), sb = r.fsm.reset_state();
+    for (int i = 0; i < 120; ++i) {
+      std::string in(f.num_inputs(), '0');
+      for (auto& c : in) c = rng.chance(0.5) ? '1' : '0';
+      auto ra = f.step(sa, in);
+      auto rb = r.fsm.step(sb, in);
+      if (!ra || ra->first < 0) {
+        sa = f.reset_state();
+        sb = r.fsm.reset_state();
+        continue;
+      }
+      ASSERT_TRUE(rb.has_value()) << name;
+      EXPECT_EQ(ra->first, rb->first) << name << " step " << i;
+      for (size_t j = 0; j < ra->second.size(); ++j) {
+        if (ra->second[j] != '-') {
+          EXPECT_EQ(rb->second[j], ra->second[j]) << name << " out " << j;
+        }
+      }
+      sa = ra->first;
+      sb = rb->first;
+    }
+  }
+}
+
+TEST(DisjointMin, ZeroInputMachine) {
+  fsm::Fsm f(0, 1);
+  f.add_transition("", "a", "b", "1");
+  f.add_transition("", "b", "a", "0");
+  auto r = constraints::disjoint_minimize(f);
+  EXPECT_EQ(r.rows_after, 2);
+}
+
+TEST(DisjointMin, PreservesStateNumbering) {
+  auto f = bench_data::load_benchmark("bbtas");
+  auto r = constraints::disjoint_minimize(f);
+  ASSERT_EQ(r.fsm.num_states(), f.num_states());
+  for (int s = 0; s < f.num_states(); ++s)
+    EXPECT_EQ(r.fsm.state_name(s), f.state_name(s));
+}

@@ -1,0 +1,210 @@
+// Edge cases across the encoding stack: degenerate machines, extreme
+// widths, covering-constrained embedding, and the failure/fallback paths.
+#include <gtest/gtest.h>
+
+#include "encoding/baselines.hpp"
+#include "encoding/embed.hpp"
+#include "encoding/io.hpp"
+#include "fsm/kiss_io.hpp"
+#include "nova/nova.hpp"
+#include "util/rng.hpp"
+
+using namespace nova;
+using namespace nova::encoding;
+using nova::constraints::make_constraint;
+using nova::util::BitVec;
+using nova::util::Rng;
+
+TEST(Edge, TwoStateMachine) {
+  fsm::Fsm f(1, 1);
+  f.add_transition("0", "a", "a", "0");
+  f.add_transition("1", "a", "b", "1");
+  f.add_transition("-", "b", "a", "0");
+  driver::NovaResult r = driver::encode_fsm(f, {});
+  EXPECT_EQ(r.metrics.nbits, 1);
+  EXPECT_TRUE(r.enc.injective());
+  EXPECT_GT(r.metrics.cubes, 0);
+}
+
+TEST(Edge, SingleStateMachine) {
+  fsm::Fsm f(1, 1);
+  f.add_transition("0", "a", "a", "1");
+  f.add_transition("1", "a", "a", "0");
+  driver::NovaResult r = driver::encode_fsm(f, {});
+  EXPECT_TRUE(r.enc.injective());
+  EXPECT_GE(r.metrics.nbits, 1);
+}
+
+TEST(Edge, NoInputsMachine) {
+  // Autonomous counter: zero primary inputs.
+  fsm::Fsm f(0, 1);
+  f.add_transition("", "a", "b", "0");
+  f.add_transition("", "b", "c", "0");
+  f.add_transition("", "c", "a", "1");
+  driver::NovaResult r = driver::encode_fsm(f, {});
+  EXPECT_TRUE(r.enc.injective());
+  EXPECT_GT(r.metrics.cubes, 0);
+}
+
+TEST(Edge, NoOutputsMachine) {
+  fsm::Fsm f(1, 0);
+  f.add_transition("0", "a", "b", "");
+  f.add_transition("1", "a", "a", "");
+  f.add_transition("-", "b", "a", "");
+  driver::NovaResult r = driver::encode_fsm(f, {});
+  EXPECT_TRUE(r.enc.injective());
+}
+
+TEST(Edge, StarPresentState) {
+  // '*' present state rows apply to every state.
+  fsm::Fsm f = fsm::parse_kiss_string(
+      ".i 1\n.o 1\n"
+      "1 * rst 1\n"
+      "0 rst a 0\n"
+      "0 a rst 0\n"
+      ".e\n");
+  driver::NovaResult r = driver::encode_fsm(f, {});
+  EXPECT_TRUE(r.enc.injective());
+  auto ev = driver::evaluate_encoding(f, r.enc);
+  // From any state, input 1 must drive the next-state code to rst's code.
+  int rst = *f.find_state("rst");
+  for (int s = 0; s < f.num_states(); ++s) {
+    std::string got = driver::simulate_pla(ev, f, "1", r.enc.codes[s]);
+    uint64_t ncode = 0;
+    for (int b = 0; b < r.enc.nbits; ++b) {
+      if (got[b] == '1') ncode |= uint64_t{1} << b;
+    }
+    EXPECT_EQ(ncode, r.enc.codes[rst]);
+  }
+}
+
+TEST(Edge, UnspecifiedNextState) {
+  fsm::Fsm f = fsm::parse_kiss_string(
+      ".i 1\n.o 1\n"
+      "0 a b 1\n"
+      "1 a * 0\n"
+      "- b a -\n"
+      ".e\n");
+  driver::NovaResult r = driver::encode_fsm(f, {});
+  EXPECT_TRUE(r.enc.injective());
+  EXPECT_GT(r.metrics.cubes, 0);
+}
+
+TEST(Edge, PowerOfTwoStates) {
+  // Exactly 2^k states: zero unused codes, the tightest case.
+  Rng rng(3);
+  for (int n : {4, 8, 16}) {
+    Encoding enc = random_encoding(n, min_code_length(n), rng);
+    EXPECT_EQ(enc.nbits, min_code_length(n));
+    EXPECT_TRUE(enc.injective());
+  }
+}
+
+TEST(Edge, CoveringsRejectImpossiblePair) {
+  // A covering cycle u>v and v>u is unsatisfiable: pos_equiv must fail
+  // rather than return a bogus encoding.
+  std::vector<OutputConstraint> cov = {{0, 1}, {1, 0}};
+  InputGraph ig({}, 4);
+  EmbedOptions eo;
+  eo.coverings = &cov;
+  EmbedResult r = pos_equiv(ig, 2, {}, eo);
+  EXPECT_FALSE(r.success);
+}
+
+TEST(Edge, CoveringsSatisfiableChain) {
+  std::vector<OutputConstraint> cov = {{0, 1}, {1, 2}};
+  InputGraph ig({}, 4);
+  EmbedOptions eo;
+  eo.coverings = &cov;
+  eo.max_work = 100000;
+  EmbedResult r = pos_equiv(ig, 2, {}, eo);
+  ASSERT_TRUE(r.success);
+  for (const auto& oc : cov) EXPECT_TRUE(covering_satisfied(r.enc, oc));
+}
+
+TEST(Edge, SemiexactInfeasibleCardinality) {
+  // A 5-state constraint cannot fit any proper face of a 3-cube (needs
+  // level 3 = the whole cube, which is reserved for the universe).
+  std::vector<InputConstraint> ics = {make_constraint("11111000")};
+  EmbedResult r = semiexact_code(ics, 8, 3);
+  EXPECT_FALSE(r.success);
+  EXPECT_FALSE(r.exhausted);  // proven infeasible, not out of budget
+}
+
+TEST(Edge, ProjectCodeWithEmptyRic) {
+  Rng rng(5);
+  Encoding enc = random_encoding(5, 3, rng);
+  std::vector<InputConstraint> sic, ric;
+  Encoding out = project_code(enc, sic, ric);
+  EXPECT_EQ(out.nbits, 4);
+  EXPECT_TRUE(out.injective());
+  // Codes unchanged in the low bits.
+  for (int s = 0; s < 5; ++s) EXPECT_EQ(out.codes[s] & 7u, enc.codes[s]);
+}
+
+TEST(Edge, OutEncoderWideFallback) {
+  // Beyond the word width the encoder falls back to plain injective codes.
+  Encoding e = out_encoder({{0, 1}}, 70);
+  EXPECT_TRUE(e.injective());
+  EXPECT_EQ(e.num_states(), 70);
+}
+
+TEST(Edge, MustangZeroWeightMachine) {
+  // No shared structure at all: weights all zero; embedding still valid.
+  fsm::Fsm f(1, 0);
+  f.add_transition("0", "a", "b", "");
+  f.add_transition("1", "b", "c", "");
+  f.add_transition("0", "c", "a", "");
+  Rng rng(7);
+  Encoding e = mustang_code(f, 2, MustangVariant::kFanout, rng);
+  EXPECT_TRUE(e.injective());
+}
+
+TEST(Edge, IGreedyFullCube) {
+  // n = 2^k: igreedy must still place everybody injectively.
+  std::vector<InputConstraint> ics = {make_constraint("11000000"),
+                                      make_constraint("00110000"),
+                                      make_constraint("00001111")};
+  auto r = igreedy_code(ics, 8, 3);
+  EXPECT_TRUE(r.enc.injective());
+  EXPECT_EQ(r.enc.nbits, 3);
+}
+
+TEST(Edge, ConstraintOfAllButOneState) {
+  // Cardinality n-1 constraints force the remaining state to a corner.
+  std::vector<InputConstraint> ics = {make_constraint("11101111")};
+  EmbedOptions eo;
+  eo.max_work = 200000;
+  EmbedResult r = semiexact_code(ics, 8, 3);
+  // 7 states in a face of 8 vertices + 1 outside is impossible in 3 bits
+  // (the face would be the universe); 4 bits works.
+  EXPECT_FALSE(r.success);
+  EmbedResult r4 = semiexact_code(ics, 8, 4, eo);
+  if (r4.success) {
+    EXPECT_TRUE(constraint_satisfied(r4.enc, ics[0]));
+  }
+}
+
+TEST(Edge, DuplicateConstraintsHarmless) {
+  std::vector<InputConstraint> ics = {make_constraint("1100"),
+                                      make_constraint("1100"),
+                                      make_constraint("1100")};
+  EmbedResult r = semiexact_code(ics, 4, 2);
+  ASSERT_TRUE(r.success);
+  EXPECT_TRUE(constraint_satisfied(r.enc, ics[0]));
+}
+
+TEST(Edge, EvaluateOneBitState) {
+  fsm::Fsm f(2, 1);
+  f.add_transition("0-", "a", "a", "0");
+  f.add_transition("1-", "a", "b", "1");
+  f.add_transition("-0", "b", "b", "1");
+  f.add_transition("-1", "b", "a", "0");
+  Encoding enc;
+  enc.nbits = 1;
+  enc.codes = {0, 1};
+  auto ev = driver::evaluate_encoding(f, enc);
+  EXPECT_GT(ev.metrics.cubes, 0);
+  EXPECT_EQ(ev.metrics.area,
+            driver::pla_area(2, 1, 1, ev.metrics.cubes));
+}

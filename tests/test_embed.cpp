@@ -1,0 +1,258 @@
+// Tests of the face-embedding engine: Face algebra, pos_equiv on the
+// paper's running example (3.4.2.1), iexact_code, semiexact_code.
+#include "encoding/embed.hpp"
+
+#include <gtest/gtest.h>
+
+#include "constraints/constraints.hpp"
+#include "util/rng.hpp"
+
+using namespace nova::encoding;
+using nova::constraints::make_constraint;
+using nova::util::BitVec;
+using nova::util::Rng;
+
+namespace {
+std::vector<InputConstraint> paper_ic() {
+  return {make_constraint("1110000"), make_constraint("0111000"),
+          make_constraint("0000111"), make_constraint("1000110"),
+          make_constraint("0000011"), make_constraint("0011000")};
+}
+
+void expect_all_satisfied(const Encoding& enc,
+                          const std::vector<InputConstraint>& ics) {
+  EXPECT_TRUE(enc.injective());
+  for (const auto& ic : ics) {
+    EXPECT_TRUE(constraint_satisfied(enc, ic)) << ic.states.to_string();
+  }
+}
+}  // namespace
+
+TEST(Face, BasicAlgebra) {
+  // k = 4; face x0x0 (paper notation, MSB first) = positions 3..0: x,0,x,0.
+  Face f{0b0101, 0b0000};
+  EXPECT_EQ(f.level(4), 2);
+  EXPECT_EQ(f.to_string(4), "x0x0");
+  Face g{0b0011, 0b0010};  // xx10
+  EXPECT_EQ(g.to_string(4), "xx10");
+  EXPECT_TRUE(f.intersects(g));
+  Face i = f.intersect(g);
+  EXPECT_EQ(i.to_string(4), "x010");
+  Face u = Face::universe();
+  EXPECT_TRUE(u.contains(f));
+  EXPECT_FALSE(f.contains(u));
+  EXPECT_TRUE(f.contains(Face::vertex(0b1010, 4)));
+  EXPECT_FALSE(f.contains(Face::vertex(0b1011, 4)));
+  EXPECT_TRUE(f.contains_code(0b0000));
+  EXPECT_TRUE(f.contains_code(0b0010));   // free position 1
+  EXPECT_FALSE(f.contains_code(0b0100));  // specified position 2 violated
+}
+
+TEST(Face, DisjointFaces) {
+  Face a{0b0001, 0b0001};  // xxx1
+  Face b{0b0001, 0b0000};  // xxx0
+  EXPECT_FALSE(a.intersects(b));
+  EXPECT_FALSE(a.contains(b));
+}
+
+TEST(Face, SupercubeFace) {
+  auto f = supercube_face({0b0000, 0b0101}, 4);
+  ASSERT_TRUE(f.has_value());
+  // Codes differ in positions 0 and 2, agree (at 0) in positions 1 and 3.
+  EXPECT_EQ(f->to_string(4), "0x0x");
+  auto g = supercube_face({0b0110}, 4);
+  EXPECT_EQ(g->to_string(4), "0110");
+  EXPECT_FALSE(supercube_face({}, 4).has_value());
+}
+
+TEST(Encoding, InjectiveAndRendering) {
+  Encoding e;
+  e.nbits = 3;
+  e.codes = {0b000, 0b101, 0b110};
+  EXPECT_TRUE(e.injective());
+  EXPECT_EQ(e.code_string(1), "101");
+  e.codes.push_back(0b101);
+  EXPECT_FALSE(e.injective());
+}
+
+TEST(Satisfaction, PaperExample311Encoding) {
+  // The encoding of Fig. 1 / Example 3.1.1 (MSB-first strings).
+  // f(states 1..7) = 0000, 1010, 1000, 1100, 0101, 0111, 1111.
+  Encoding e;
+  e.nbits = 4;
+  e.codes = {0b0000, 0b1010, 0b1000, 0b1100, 0b0101, 0b0111, 0b1111};
+  expect_all_satisfied(e, paper_ic());
+}
+
+TEST(Satisfaction, DetectsViolation) {
+  Encoding e;
+  e.nbits = 3;
+  // states 0,1 span face 0xx (codes 000, 011); state 2 at 001 intrudes.
+  e.codes = {0b000, 0b011, 0b001};
+  BitVec ic = BitVec::from_string("110");
+  EXPECT_FALSE(constraint_satisfied(e, ic));
+  // Moving state 2 out of the face satisfies the constraint.
+  e.codes = {0b000, 0b011, 0b100};
+  EXPECT_TRUE(constraint_satisfied(e, ic));
+  // A two-code face (codes differing in one position) admits no intruder.
+  e.codes = {0b000, 0b010, 0b001};
+  EXPECT_TRUE(constraint_satisfied(e, ic));
+}
+
+TEST(Satisfaction, Covering) {
+  Encoding e;
+  e.nbits = 3;
+  e.codes = {0b111, 0b101, 0b101};
+  EXPECT_TRUE(covering_satisfied(e, {0, 1}));
+  EXPECT_FALSE(covering_satisfied(e, {1, 0}));
+  EXPECT_FALSE(covering_satisfied(e, {1, 2}));  // equal codes
+}
+
+TEST(PosEquiv, PaperExampleEmbedsInFourCube) {
+  InputGraph ig(paper_ic(), 7);
+  // dimvect (2,2,2,2) as in Example 3.4.2.1.
+  EmbedResult r = pos_equiv(ig, 4, {2, 2, 2, 2});
+  ASSERT_TRUE(r.success);
+  expect_all_satisfied(r.enc, paper_ic());
+}
+
+TEST(PosEquiv, InfeasibleInThreeCube) {
+  InputGraph ig(paper_ic(), 7);
+  EmbedResult r = pos_equiv(ig, 3, {});
+  EXPECT_FALSE(r.success);
+}
+
+TEST(PosEquiv, NoConstraintsAssignsDistinctCodes) {
+  InputGraph ig({}, 5);
+  EmbedResult r = pos_equiv(ig, 3, {});
+  ASSERT_TRUE(r.success);
+  EXPECT_TRUE(r.enc.injective());
+  EXPECT_EQ(r.enc.num_states(), 5);
+}
+
+TEST(PosEquiv, WorkLimitReportsExhausted) {
+  InputGraph ig(paper_ic(), 7);
+  EmbedOptions eo;
+  eo.max_work = 3;
+  EmbedResult r = pos_equiv(ig, 4, {2, 2, 2, 2}, eo);
+  EXPECT_FALSE(r.success);
+  EXPECT_TRUE(r.exhausted);
+}
+
+TEST(IExact, PaperExampleNeedsFourBits) {
+  InputGraph ig(paper_ic(), 7);
+  ExactResult r = iexact_code(ig);
+  ASSERT_TRUE(r.success);
+  EXPECT_EQ(r.nbits, 4);
+  expect_all_satisfied(r.enc, paper_ic());
+}
+
+TEST(IExact, SingleConstraintMinimumBits) {
+  // 4 states, one constraint {0,1}: satisfiable in 2 bits.
+  std::vector<InputConstraint> ics = {make_constraint("1100")};
+  InputGraph ig(ics, 4);
+  ExactResult r = iexact_code(ig);
+  ASSERT_TRUE(r.success);
+  EXPECT_EQ(r.nbits, 2);
+  expect_all_satisfied(r.enc, ics);
+}
+
+TEST(IExact, DisjointPairsInTwoBits) {
+  std::vector<InputConstraint> ics = {make_constraint("1100"),
+                                      make_constraint("0011")};
+  InputGraph ig(ics, 4);
+  ExactResult r = iexact_code(ig);
+  ASSERT_TRUE(r.success);
+  EXPECT_EQ(r.nbits, 2);
+  expect_all_satisfied(r.enc, ics);
+}
+
+TEST(IExact, OverlappingChainNeedsThreeBits) {
+  // {0,1},{1,2},{2,3} over 4 states: classic case where 2 bits are not
+  // enough for all three faces... verify iexact finds *some* minimal k and
+  // satisfies everything.
+  std::vector<InputConstraint> ics = {make_constraint("1100"),
+                                      make_constraint("0110"),
+                                      make_constraint("0011")};
+  InputGraph ig(ics, 4);
+  ExactResult r = iexact_code(ig);
+  ASSERT_TRUE(r.success);
+  expect_all_satisfied(r.enc, ics);
+  EXPECT_LE(r.nbits, 3);
+  // And 2 bits is genuinely achievable: 00,01,11,10 (Gray order).
+  Encoding gray;
+  gray.nbits = 2;
+  gray.codes = {0b00, 0b01, 0b11, 0b10};
+  for (const auto& ic : ics) EXPECT_TRUE(constraint_satisfied(gray, ic));
+  EXPECT_EQ(r.nbits, 2);
+}
+
+TEST(SemiExact, SatisfiableSubset) {
+  auto ics = paper_ic();
+  // At the minimum length (3 bits for 7 states) not all six constraints
+  // fit, but single constraints do.
+  for (const auto& ic : ics) {
+    EmbedResult r = semiexact_code({ic}, 7, 3);
+    EXPECT_TRUE(r.success) << ic.states.to_string();
+    if (r.success) expect_all_satisfied(r.enc, {ic});
+  }
+}
+
+TEST(SemiExact, AllConstraintsAtFourBits) {
+  EmbedResult r = semiexact_code(paper_ic(), 7, 4);
+  // Minimum-level faces happen to suffice here (the paper's Example 3.4.2.1
+  // succeeded with dimvect (2,2,2,2), which is the minimum-level vector).
+  ASSERT_TRUE(r.success);
+  expect_all_satisfied(r.enc, paper_ic());
+}
+
+TEST(SemiExact, RandomConstraintSetsAreSound) {
+  // Property: whenever semiexact succeeds, its encoding satisfies every
+  // requested constraint and is injective.
+  Rng rng(2024);
+  for (int trial = 0; trial < 40; ++trial) {
+    int n = 4 + rng.uniform(6);  // 4..9 states
+    int k = min_code_length(n) + rng.uniform(2);
+    std::vector<InputConstraint> ics;
+    int nc = 1 + rng.uniform(4);
+    for (int i = 0; i < nc; ++i) {
+      BitVec s(n);
+      for (int b = 0; b < n; ++b) {
+        if (rng.chance(0.4)) s.set(b);
+      }
+      if (s.count() >= 2 && s.count() < n) ics.push_back({s, 1});
+    }
+    EmbedOptions eo;
+    eo.max_work = 30000;
+    EmbedResult r = semiexact_code(ics, n, k, eo);
+    if (r.success) {
+      EXPECT_TRUE(r.enc.injective());
+      EXPECT_EQ(r.enc.nbits, k);
+      for (const auto& ic : ics) {
+        EXPECT_TRUE(constraint_satisfied(r.enc, ic))
+            << "trial " << trial << " " << ic.states.to_string();
+      }
+    }
+  }
+}
+
+TEST(IExact, ExactAlwaysSatisfiableAtNStates) {
+  // Sanity: any constraint set is satisfiable (1-hot always works), so
+  // iexact with enough budget must succeed on small instances.
+  Rng rng(7);
+  for (int trial = 0; trial < 10; ++trial) {
+    int n = 4 + rng.uniform(3);
+    std::vector<InputConstraint> ics;
+    for (int i = 0; i < 2; ++i) {
+      BitVec s(n);
+      for (int b = 0; b < n; ++b) {
+        if (rng.chance(0.5)) s.set(b);
+      }
+      if (s.count() >= 2 && s.count() < n) ics.push_back({s, 1});
+    }
+    InputGraph ig(ics, n);
+    ExactResult r = iexact_code(ig);
+    EXPECT_TRUE(r.success) << "trial " << trial;
+    if (r.success) expect_all_satisfied(r.enc, ics);
+  }
+}

@@ -1,0 +1,173 @@
+// Exact two-level minimization tests, including its use as a quality
+// oracle for espresso on random small functions.
+#include "logic/exact.hpp"
+
+#include <gtest/gtest.h>
+
+#include "logic/espresso.hpp"
+#include "util/rng.hpp"
+
+using namespace nova::logic;
+using nova::util::Rng;
+
+namespace {
+Cover from_pla(const CubeSpec& s, std::initializer_list<const char*> rows) {
+  Cover c(s);
+  for (const char* r : rows) {
+    Cube q = Cube::full(s);
+    q.set_binary_from_pla(s, 0, r);
+    c.add(q);
+  }
+  return c;
+}
+
+bool truth(const Cover& F, unsigned m, int n) {
+  Cube q = Cube::full(F.spec());
+  std::string s(n, '0');
+  for (int i = 0; i < n; ++i) s[i] = (m >> i) & 1 ? '1' : '0';
+  q.set_binary_from_pla(F.spec(), 0, s);
+  return covers_minterm(F, q);
+}
+}  // namespace
+
+TEST(Consensus, BinaryDistanceOne) {
+  CubeSpec s = CubeSpec::binary(2);
+  Cube a = Cube::full(s), b = Cube::full(s);
+  a.set_binary_from_pla(s, 0, "01");
+  b.set_binary_from_pla(s, 0, "11");
+  Cube c = consensus(s, a, b, 0);
+  ASSERT_TRUE(c.nonempty(s));
+  EXPECT_EQ(c.to_string(s), "11|01");  // -1
+}
+
+TEST(Consensus, UndefinedAtDistanceTwo) {
+  CubeSpec s = CubeSpec::binary(2);
+  Cube a = Cube::full(s), b = Cube::full(s);
+  a.set_binary_from_pla(s, 0, "00");
+  b.set_binary_from_pla(s, 0, "11");
+  // Union on var 0, intersection on var 1: empty part -> undefined.
+  Cube c = consensus(s, a, b, 0);
+  EXPECT_FALSE(c.nonempty(s));
+}
+
+TEST(BlakePrimes, XorHasTwoPrimes) {
+  CubeSpec s = CubeSpec::binary(2);
+  Cover on = from_pla(s, {"01", "10"});
+  Cover p = blake_primes(on, Cover(s));
+  EXPECT_EQ(p.size(), 2);
+}
+
+TEST(BlakePrimes, MajorityHasThreePrimes) {
+  CubeSpec s = CubeSpec::binary(3);
+  Cover on = from_pla(s, {"110", "101", "011", "111"});
+  Cover p = blake_primes(on, Cover(s));
+  EXPECT_EQ(p.size(), 3);
+}
+
+TEST(BlakePrimes, ConsensusChainFindsBigPrime) {
+  // f = a'b' + a'b + ab' + ab = 1: consensus closure must reach '--'.
+  CubeSpec s = CubeSpec::binary(2);
+  Cover on = from_pla(s, {"00", "01", "10", "11"});
+  Cover p = blake_primes(on, Cover(s));
+  ASSERT_EQ(p.size(), 1);
+  EXPECT_TRUE(p[0].is_full(s));
+}
+
+TEST(ExactMin, MajorityIsThreeCubes) {
+  CubeSpec s = CubeSpec::binary(3);
+  Cover on = from_pla(s, {"110", "101", "011", "111"});
+  auto r = exact_minimize(on);
+  EXPECT_TRUE(r.optimal);
+  EXPECT_EQ(r.cover.size(), 3);
+}
+
+TEST(ExactMin, XorIsTwoCubes) {
+  CubeSpec s = CubeSpec::binary(2);
+  Cover on = from_pla(s, {"01", "10"});
+  auto r = exact_minimize(on);
+  EXPECT_TRUE(r.optimal);
+  EXPECT_EQ(r.cover.size(), 2);
+}
+
+TEST(ExactMin, UsesDontCares) {
+  CubeSpec s = CubeSpec::binary(3);
+  Cover on = from_pla(s, {"000", "011"});
+  Cover dc = from_pla(s, {"001", "010"});
+  auto r = exact_minimize(on, dc);
+  EXPECT_TRUE(r.optimal);
+  EXPECT_EQ(r.cover.size(), 1);  // the whole a'=0 face
+}
+
+TEST(ExactMin, EmptyOnSet) {
+  CubeSpec s = CubeSpec::binary(3);
+  auto r = exact_minimize(Cover(s));
+  EXPECT_TRUE(r.optimal);
+  EXPECT_TRUE(r.cover.empty());
+}
+
+TEST(ExactMin, OnInsideDc) {
+  CubeSpec s = CubeSpec::binary(2);
+  Cover on = from_pla(s, {"01"});
+  Cover dc = from_pla(s, {"--"});
+  auto r = exact_minimize(on, dc);
+  EXPECT_TRUE(r.optimal);
+  EXPECT_TRUE(r.cover.empty());
+}
+
+TEST(ExactMin, MvSingleVariable) {
+  CubeSpec s({6});
+  Cover on(s);
+  on.add(Cube::from_bits(s, "110000"));
+  on.add(Cube::from_bits(s, "011000"));
+  on.add(Cube::from_bits(s, "000110"));
+  auto r = exact_minimize(on);
+  EXPECT_TRUE(r.optimal);
+  // Over a single MV variable every value subset is one cube: consensus
+  // unions {0,1,2} and {3,4} into the single prime {0,1,2,3,4}.
+  EXPECT_EQ(r.cover.size(), 1);
+  EXPECT_EQ(r.cover[0].to_string(s), "111110");
+}
+
+TEST(ExactMin, EspressoNeverBeatsExact) {
+  // The oracle test: on random functions, espresso's cube count is >= the
+  // exact minimum, and both covers are equivalent to the spec.
+  Rng rng(13579);
+  int espresso_total = 0, exact_total = 0;
+  for (int trial = 0; trial < 30; ++trial) {
+    int n = 3 + rng.uniform(2);  // 3..4 vars
+    CubeSpec s = CubeSpec::binary(n);
+    Cover on(s);
+    for (int i = 0; i < 2 + rng.uniform(6); ++i) {
+      std::string row(n, '-');
+      for (auto& ch : row) {
+        int r = rng.uniform(3);
+        ch = r == 0 ? '0' : (r == 1 ? '1' : '-');
+      }
+      Cube q = Cube::full(s);
+      q.set_binary_from_pla(s, 0, row);
+      on.add(q);
+    }
+    if (on.empty()) continue;
+    auto ex = exact_minimize(on);
+    ASSERT_TRUE(ex.optimal) << "trial " << trial;
+    Cover esp = espresso(on);
+    EXPECT_GE(esp.size(), ex.cover.size()) << "trial " << trial;
+    espresso_total += esp.size();
+    exact_total += ex.cover.size();
+    for (unsigned m = 0; m < (1u << n); ++m) {
+      bool want = truth(on, m, n);
+      EXPECT_EQ(truth(ex.cover, m, n), want) << "exact trial " << trial;
+      EXPECT_EQ(truth(esp, m, n), want) << "espresso trial " << trial;
+    }
+  }
+  // Espresso should be close to optimal in aggregate (within ~15%).
+  EXPECT_LE(espresso_total, exact_total + (exact_total * 3) / 20 + 1);
+}
+
+TEST(ExactMin, ReportsStats) {
+  CubeSpec s = CubeSpec::binary(3);
+  Cover on = from_pla(s, {"110", "101", "011", "111"});
+  auto r = exact_minimize(on);
+  EXPECT_EQ(r.num_primes, 3);
+  EXPECT_EQ(r.num_rows, 4);
+}

@@ -1,0 +1,204 @@
+#include "fsm/fsm.hpp"
+
+#include <gtest/gtest.h>
+
+#include "fsm/kiss_io.hpp"
+#include "fsm/symbolic.hpp"
+#include "logic/espresso.hpp"
+
+using namespace nova::fsm;
+
+namespace {
+const char* kLion =
+    ".i 2\n.o 1\n.s 4\n.r st0\n"
+    "-0 st0 st0 0\n"
+    "11 st0 st0 0\n"
+    "01 st0 st1 0\n"
+    "-1 st1 st1 1\n"
+    "10 st1 st2 1\n"
+    "00 st2 st2 1\n"
+    "-1 st2 st1 1\n"
+    "10 st2 st3 1\n"
+    "-0 st3 st3 1\n"
+    "01 st3 st3 1\n"
+    ".e\n";
+}  // namespace
+
+TEST(Fsm, InternStates) {
+  Fsm f(1, 1);
+  EXPECT_EQ(f.intern_state("a"), 0);
+  EXPECT_EQ(f.intern_state("b"), 1);
+  EXPECT_EQ(f.intern_state("a"), 0);
+  EXPECT_EQ(f.num_states(), 2);
+  EXPECT_EQ(*f.find_state("b"), 1);
+  EXPECT_FALSE(f.find_state("c").has_value());
+}
+
+TEST(Fsm, AddTransitionValidatesPatterns) {
+  Fsm f(2, 1);
+  f.intern_state("a");
+  EXPECT_THROW(f.add_transition("0", 0, 0, "1"), std::invalid_argument);
+  EXPECT_THROW(f.add_transition("00", 0, 0, "11"), std::invalid_argument);
+  EXPECT_THROW(f.add_transition("0x", 0, 0, "1"), std::invalid_argument);
+  EXPECT_NO_THROW(f.add_transition("0-", 0, 0, "1"));
+}
+
+TEST(Fsm, StepSimulation) {
+  Fsm f = parse_kiss_string(kLion, "lion");
+  int st0 = *f.find_state("st0");
+  int st1 = *f.find_state("st1");
+  auto r = f.step(st0, "01");
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->first, st1);
+  EXPECT_EQ(r->second, "0");
+  r = f.step(st1, "11");
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->first, st1);
+  EXPECT_EQ(r->second, "1");
+}
+
+TEST(Fsm, InputPatternsIntersect) {
+  EXPECT_TRUE(input_patterns_intersect("0-", "-1"));
+  EXPECT_FALSE(input_patterns_intersect("01", "00"));
+  EXPECT_TRUE(input_patterns_intersect("--", "10"));
+}
+
+TEST(Fsm, ValidateCleanMachine) {
+  Fsm f = parse_kiss_string(kLion, "lion");
+  EXPECT_TRUE(f.validate().empty());
+}
+
+TEST(Fsm, ValidateDetectsNondeterminism) {
+  Fsm f(1, 1);
+  f.add_transition("0", "a", "a", "0");
+  f.add_transition("-", "a", "b", "1");
+  auto issues = f.validate();
+  ASSERT_FALSE(issues.empty());
+  EXPECT_EQ(issues[0].kind, Fsm::ValidationIssue::kNondeterministic);
+}
+
+TEST(Fsm, ValidateDetectsUnreachable) {
+  Fsm f(1, 1);
+  f.add_transition("0", "a", "a", "0");
+  f.add_transition("1", "b", "b", "0");  // b unreachable from a
+  auto issues = f.validate();
+  bool found = false;
+  for (auto& i : issues) found |= i.kind == Fsm::ValidationIssue::kUnreachableState;
+  EXPECT_TRUE(found);
+}
+
+TEST(KissIo, ParseBasic) {
+  Fsm f = parse_kiss_string(kLion, "lion");
+  EXPECT_EQ(f.num_inputs(), 2);
+  EXPECT_EQ(f.num_outputs(), 1);
+  EXPECT_EQ(f.num_states(), 4);
+  EXPECT_EQ(f.num_transitions(), 10);
+  EXPECT_EQ(f.reset_state(), *f.find_state("st0"));
+  EXPECT_EQ(f.name(), "lion");
+}
+
+TEST(KissIo, RoundTrip) {
+  Fsm f = parse_kiss_string(kLion, "lion");
+  std::string text = write_kiss_string(f);
+  Fsm g = parse_kiss_string(text, "lion2");
+  EXPECT_EQ(g.num_states(), f.num_states());
+  EXPECT_EQ(g.num_transitions(), f.num_transitions());
+  EXPECT_EQ(write_kiss_string(g), text);
+}
+
+TEST(KissIo, CommentsAndStar) {
+  const char* text =
+      "# a comment\n.i 1\n.o 1\n"
+      "0 a b 1  # trailing comment\n"
+      "1 * a -\n"
+      ".e\n";
+  Fsm f = parse_kiss_string(text);
+  EXPECT_EQ(f.num_transitions(), 2);
+  EXPECT_EQ(f.transitions()[1].present, -1);
+}
+
+TEST(KissIo, ErrorsAreLineNumbered) {
+  try {
+    parse_kiss_string(".i 1\n.o 1\nbad row\n.e\n");
+    FAIL() << "expected throw";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos);
+  }
+}
+
+TEST(KissIo, CountMismatchRejected) {
+  EXPECT_THROW(parse_kiss_string(".i 1\n.o 1\n.p 5\n0 a a 0\n.e\n"),
+               std::runtime_error);
+  EXPECT_THROW(parse_kiss_string(".i 1\n.o 1\n.s 3\n0 a a 0\n.e\n"),
+               std::runtime_error);
+}
+
+TEST(KissIo, MissingHeaderRejected) {
+  EXPECT_THROW(parse_kiss_string("0 a a 0\n.e\n"), std::runtime_error);
+}
+
+TEST(SymbolicCover, Layout) {
+  Fsm f = parse_kiss_string(kLion, "lion");
+  SymbolicCover sc = build_symbolic_cover(f);
+  EXPECT_EQ(sc.num_inputs, 2);
+  EXPECT_EQ(sc.num_states, 4);
+  EXPECT_EQ(sc.num_outputs, 1);
+  // vars: 2 binary inputs, present(4), output(4+1)
+  EXPECT_EQ(sc.spec.num_vars(), 4);
+  EXPECT_EQ(sc.spec.size(sc.present_var()), 4);
+  EXPECT_EQ(sc.spec.size(sc.output_var()), 5);
+  EXPECT_EQ(sc.on.size(), 10);
+}
+
+TEST(SymbolicCover, OnCubesAssertNextAndOutputs) {
+  Fsm f(1, 1);
+  f.add_transition("0", "a", "b", "1");
+  f.add_transition("1", "a", "a", "0");
+  f.add_transition("-", "b", "b", "-");
+  SymbolicCover sc = build_symbolic_cover(f);
+  // Row 1 asserts next=b and output; row 2 asserts only next=a; row 3
+  // asserts next=b (output '-' goes to dc).
+  EXPECT_EQ(sc.on.size(), 3);
+  bool found_dc_output = false;
+  for (const auto& c : sc.dc) {
+    if (c.get(sc.spec.bit(sc.output_var(), sc.output_value(0))))
+      found_dc_output = true;
+  }
+  EXPECT_TRUE(found_dc_output);
+}
+
+TEST(SymbolicCover, UnspecifiedRegionIsDontCare) {
+  Fsm f(1, 1);
+  f.add_transition("0", "a", "b", "1");
+  f.add_transition("0", "b", "a", "0");
+  // input 1 unspecified for both states -> dc covers (1, *, anything)
+  SymbolicCover sc = build_symbolic_cover(f);
+  nova::logic::Cube probe = nova::logic::Cube::full(sc.spec);
+  probe.set_binary_from_pla(sc.spec, 0, "1");
+  probe.set_value(sc.spec, sc.present_var(), 0);
+  probe.set_value(sc.spec, sc.output_var(), sc.output_value(0));
+  EXPECT_TRUE(nova::logic::covers_cube(sc.dc, probe));
+}
+
+TEST(SymbolicCover, MinimizationGroupsStates) {
+  // Three states that all go to state t on input 1 with output 1: MV
+  // minimization should merge them into a single cube.
+  Fsm f(1, 1);
+  f.add_transition("1", "a", "t", "1");
+  f.add_transition("1", "b", "t", "1");
+  f.add_transition("1", "c", "t", "1");
+  f.add_transition("0", "a", "a", "0");
+  f.add_transition("0", "b", "b", "0");
+  f.add_transition("0", "c", "c", "0");
+  f.add_transition("-", "t", "t", "0");
+  SymbolicCover sc = build_symbolic_cover(f);
+  nova::logic::Cover g = nova::logic::espresso(sc.on, sc.dc);
+  // The three "go to t" rows merge into one: cover shrinks below 7 rows.
+  EXPECT_LT(g.size(), 7);
+}
+
+TEST(Fsm, EmptyMachine) {
+  Fsm f(1, 1);
+  EXPECT_EQ(f.num_states(), 0);
+  EXPECT_TRUE(f.reachable_states().empty());
+}

@@ -1,0 +1,194 @@
+// Tests for project_code (Prop. 4.2.1), ihybrid_code (Example 4.1) and
+// igreedy_code.
+#include "encoding/hybrid.hpp"
+
+#include <gtest/gtest.h>
+
+#include "encoding/baselines.hpp"
+#include "util/rng.hpp"
+
+using namespace nova::encoding;
+using nova::constraints::make_constraint;
+using nova::util::BitVec;
+using nova::util::Rng;
+
+namespace {
+std::vector<InputConstraint> paper_ic_weighted() {
+  // Example 4.1: weights 4, 2, 3, 5, 1, 1.
+  return {make_constraint("1110000", 4), make_constraint("0111000", 2),
+          make_constraint("0000111", 3), make_constraint("1000110", 5),
+          make_constraint("0000011", 1), make_constraint("0011000", 1)};
+}
+}  // namespace
+
+TEST(ProjectCode, Proposition421SingleConstraint) {
+  // Any encoding, any unsatisfied constraint: one extra bit satisfies it.
+  Rng rng(5);
+  for (int trial = 0; trial < 50; ++trial) {
+    int n = 4 + rng.uniform(8);
+    int k = min_code_length(n);
+    Encoding enc = random_encoding(n, k, rng);
+    BitVec s(n);
+    for (int b = 0; b < n; ++b) {
+      if (rng.chance(0.4)) s.set(b);
+    }
+    if (s.count() < 2 || s.count() >= n) continue;
+    std::vector<InputConstraint> sic;
+    std::vector<InputConstraint> ric = {{s, 1}};
+    Encoding out = project_code(enc, sic, ric);
+    EXPECT_EQ(out.nbits, k + 1);
+    EXPECT_TRUE(out.injective());
+    EXPECT_TRUE(ric.empty()) << "constraint must be satisfied";
+    ASSERT_EQ(sic.size(), 1u);
+    EXPECT_TRUE(constraint_satisfied(out, sic[0]));
+  }
+}
+
+TEST(ProjectCode, PreservesSatisfiedConstraints) {
+  Rng rng(9);
+  for (int trial = 0; trial < 50; ++trial) {
+    int n = 5 + rng.uniform(6);
+    int k = min_code_length(n) + 1;
+    Encoding enc = random_encoding(n, k, rng);
+    // Collect constraints the random encoding happens to satisfy.
+    std::vector<InputConstraint> sic;
+    for (int i = 0; i < 10; ++i) {
+      BitVec s(n);
+      for (int b = 0; b < n; ++b) {
+        if (rng.chance(0.3)) s.set(b);
+      }
+      if (s.count() < 2 || s.count() >= n) continue;
+      InputConstraint ic{s, 1};
+      if (constraint_satisfied(enc, ic)) sic.push_back(ic);
+    }
+    BitVec t(n);
+    for (int b = 0; b < n; ++b) {
+      if (rng.chance(0.5)) t.set(b);
+    }
+    if (t.count() < 2 || t.count() >= n) continue;
+    std::vector<InputConstraint> ric = {{t, 3}};
+    Encoding out = project_code(enc, sic, ric);
+    for (const auto& ic : sic) {
+      EXPECT_TRUE(constraint_satisfied(out, ic)) << "trial " << trial;
+    }
+    EXPECT_TRUE(ric.empty());
+  }
+}
+
+TEST(IHybrid, PaperExample41AllSatisfiedAtFourBits) {
+  HybridOptions opts;
+  opts.nbits = 4;
+  HybridResult r = ihybrid_code(paper_ic_weighted(), 7, opts);
+  EXPECT_TRUE(r.ric.empty());
+  EXPECT_EQ(r.enc.nbits, 4);
+  EXPECT_TRUE(r.enc.injective());
+  for (const auto& ic : paper_ic_weighted()) {
+    EXPECT_TRUE(constraint_satisfied(r.enc, ic)) << ic.states.to_string();
+  }
+  EXPECT_EQ(r.clength_all, 4);
+}
+
+TEST(IHybrid, MinimumLengthPartialSatisfaction) {
+  HybridOptions opts;
+  opts.nbits = 3;  // minimum for 7 states; not all constraints can fit
+  HybridResult r = ihybrid_code(paper_ic_weighted(), 7, opts);
+  EXPECT_EQ(r.enc.nbits, 3);
+  EXPECT_TRUE(r.enc.injective());
+  // The greedy is weight-ordered: the heaviest constraint (weight 5) must
+  // be among the satisfied ones.
+  bool heavy_sat = false;
+  for (const auto& ic : r.sic) {
+    if (ic.states == BitVec::from_string("1000110")) heavy_sat = true;
+  }
+  EXPECT_TRUE(heavy_sat);
+  // Every constraint reported satisfied must actually be satisfied.
+  for (const auto& ic : r.sic) EXPECT_TRUE(constraint_satisfied(r.enc, ic));
+  for (const auto& ic : r.ric) EXPECT_FALSE(constraint_satisfied(r.enc, ic));
+}
+
+TEST(IHybrid, EmptyConstraints) {
+  HybridResult r = ihybrid_code({}, 6, {});
+  EXPECT_EQ(r.enc.nbits, 3);
+  EXPECT_TRUE(r.enc.injective());
+  EXPECT_TRUE(r.ric.empty());
+  EXPECT_EQ(r.clength_all, 3);
+}
+
+TEST(IHybrid, TwoStates) {
+  HybridResult r = ihybrid_code({}, 2, {});
+  EXPECT_EQ(r.enc.nbits, 1);
+  EXPECT_TRUE(r.enc.injective());
+}
+
+TEST(IHybrid, UnboundedProjectionSatisfiesAll) {
+  Rng rng(31);
+  for (int trial = 0; trial < 20; ++trial) {
+    int n = 5 + rng.uniform(6);
+    std::vector<InputConstraint> ics;
+    for (int i = 0; i < 6; ++i) {
+      BitVec s(n);
+      for (int b = 0; b < n; ++b) {
+        if (rng.chance(0.35)) s.set(b);
+      }
+      if (s.count() >= 2 && s.count() < n) ics.push_back({s, 1 + rng.uniform(5)});
+    }
+    HybridOptions opts;
+    opts.nbits = 62;
+    HybridResult r = ihybrid_code(ics, n, opts);
+    EXPECT_TRUE(r.ric.empty()) << "trial " << trial;
+    EXPECT_GE(r.clength_all, r.min_length);
+    for (const auto& ic : ics) {
+      EXPECT_TRUE(constraint_satisfied(r.enc, ic)) << "trial " << trial;
+    }
+  }
+}
+
+TEST(IGreedy, SatisfiesSimpleConstraints) {
+  std::vector<InputConstraint> ics = {make_constraint("1100"),
+                                      make_constraint("0011")};
+  GreedyResult r = igreedy_code(ics, 4);
+  EXPECT_EQ(r.enc.nbits, 2);
+  EXPECT_TRUE(r.enc.injective());
+  EXPECT_EQ(r.satisfied, 2);
+  EXPECT_EQ(r.unsatisfied, 0);
+}
+
+TEST(IGreedy, PrioritizesCommonSubconstraints) {
+  // Two overlapping constraints; the common intersection {2} is handled
+  // bottom-up. All codes distinct is mandatory.
+  std::vector<InputConstraint> ics = {make_constraint("1110000"),
+                                      make_constraint("0111000"),
+                                      make_constraint("0011000")};
+  GreedyResult r = igreedy_code(ics, 7, 4);
+  EXPECT_TRUE(r.enc.injective());
+  EXPECT_GE(r.satisfied, 2);
+}
+
+TEST(IGreedy, ReportedCountsAccurate) {
+  Rng rng(17);
+  for (int trial = 0; trial < 30; ++trial) {
+    int n = 4 + rng.uniform(8);
+    std::vector<InputConstraint> ics;
+    for (int i = 0; i < 5; ++i) {
+      BitVec s(n);
+      for (int b = 0; b < n; ++b) {
+        if (rng.chance(0.4)) s.set(b);
+      }
+      if (s.count() >= 2 && s.count() < n) ics.push_back({s, 1});
+    }
+    GreedyResult r = igreedy_code(ics, n, min_code_length(n) + 1);
+    EXPECT_TRUE(r.enc.injective()) << "trial " << trial;
+    int sat = 0;
+    for (const auto& ic : ics) {
+      if (constraint_satisfied(r.enc, ic)) ++sat;
+    }
+    EXPECT_EQ(sat, r.satisfied) << "trial " << trial;
+    EXPECT_EQ(static_cast<int>(ics.size()) - sat, r.unsatisfied);
+  }
+}
+
+TEST(IGreedy, EmptyConstraintsGiveInjectiveCodes) {
+  GreedyResult r = igreedy_code({}, 9);
+  EXPECT_EQ(r.enc.nbits, 4);
+  EXPECT_TRUE(r.enc.injective());
+}

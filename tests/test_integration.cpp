@@ -1,0 +1,148 @@
+// Parameterized end-to-end sweeps: for every small benchmark machine and
+// every algorithm, the full pipeline must produce an injective encoding, a
+// consistent area, and an encoded PLA functionally equivalent to the FSM.
+#include <gtest/gtest.h>
+
+#include "bench_data/benchmarks.hpp"
+#include "constraints/input_constraints.hpp"
+#include "encoding/embed.hpp"
+#include "nova/nova.hpp"
+#include "util/rng.hpp"
+
+using namespace nova;
+using driver::Algorithm;
+using nova::util::Rng;
+
+namespace {
+
+struct Param {
+  const char* machine;
+  Algorithm alg;
+};
+
+std::string param_name(const testing::TestParamInfo<Param>& info) {
+  const char* alg = "";
+  switch (info.param.alg) {
+    case Algorithm::kIHybrid: alg = "ihybrid"; break;
+    case Algorithm::kIGreedy: alg = "igreedy"; break;
+    case Algorithm::kIoHybrid: alg = "iohybrid"; break;
+    case Algorithm::kIoVariant: alg = "iovariant"; break;
+    case Algorithm::kKiss: alg = "kiss"; break;
+    case Algorithm::kRandom: alg = "random"; break;
+    case Algorithm::kMustangFanout: alg = "mustangp"; break;
+    case Algorithm::kMustangFanin: alg = "mustangn"; break;
+    case Algorithm::kIExact: alg = "iexact"; break;
+  }
+  return std::string(info.param.machine) + "_" + alg;
+}
+
+class PipelineTest : public testing::TestWithParam<Param> {};
+
+TEST_P(PipelineTest, EncodesAndMatchesFsm) {
+  const Param& p = GetParam();
+  auto f = bench_data::load_benchmark(p.machine);
+  driver::NovaOptions opts;
+  opts.algorithm = p.alg;
+  opts.max_work = 10000;
+  driver::NovaResult r = driver::encode_fsm(f, opts);
+  ASSERT_TRUE(r.success);
+  EXPECT_TRUE(r.enc.injective());
+  EXPECT_GE(r.metrics.nbits, encoding::min_code_length(f.num_states()));
+  EXPECT_GT(r.metrics.cubes, 0);
+  EXPECT_EQ(r.metrics.area,
+            driver::pla_area(f.num_inputs(), r.metrics.nbits,
+                             f.num_outputs(), r.metrics.cubes));
+
+  // Functional equivalence under random stimulus.
+  auto ev = driver::evaluate_encoding(f, r.enc);
+  Rng rng(99);
+  int state = f.reset_state();
+  for (int i = 0; i < 60; ++i) {
+    std::string in(f.num_inputs(), '0');
+    for (auto& c : in) c = rng.chance(0.5) ? '1' : '0';
+    auto ref = f.step(state, in);
+    if (!ref || ref->first < 0) {
+      state = f.reset_state();
+      continue;
+    }
+    std::string got = driver::simulate_pla(ev, f, in, r.enc.codes[state]);
+    uint64_t ncode = 0;
+    for (int b = 0; b < r.enc.nbits; ++b) {
+      if (got[b] == '1') ncode |= uint64_t{1} << b;
+    }
+    ASSERT_EQ(ncode, r.enc.codes[ref->first])
+        << p.machine << " step " << i << " state " << f.state_name(state);
+    for (int j = 0; j < f.num_outputs(); ++j) {
+      if (ref->second[j] != '-') {
+        ASSERT_EQ(got[r.enc.nbits + j], ref->second[j])
+            << p.machine << " output " << j;
+      }
+    }
+    state = ref->first;
+  }
+}
+
+std::vector<Param> make_params() {
+  std::vector<Param> out;
+  const char* machines[] = {"lion",  "bbtas",    "dk27",     "shiftreg",
+                            "tav",   "beecount", "modulo12", "train11",
+                            "lion9", "iofsm"};
+  Algorithm algs[] = {Algorithm::kIHybrid,       Algorithm::kIGreedy,
+                      Algorithm::kIoHybrid,      Algorithm::kIoVariant,
+                      Algorithm::kKiss,          Algorithm::kRandom,
+                      Algorithm::kMustangFanout, Algorithm::kMustangFanin};
+  for (const char* m : machines) {
+    for (Algorithm a : algs) out.push_back({m, a});
+  }
+  return out;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSmallMachines, PipelineTest,
+                         testing::ValuesIn(make_params()), param_name);
+
+// iexact separately on tiny machines only (it is exponential by design).
+class ExactPipelineTest : public testing::TestWithParam<const char*> {};
+
+TEST_P(ExactPipelineTest, ExactSatisfiesEverything) {
+  auto f = bench_data::load_benchmark(GetParam());
+  auto icr = constraints::extract_input_constraints(f);
+  encoding::InputGraph ig(icr.constraints, f.num_states());
+  encoding::ExactOptions eo;
+  eo.max_work = 400000;
+  auto er = encoding::iexact_code(ig, eo);
+  if (!er.success) GTEST_SKIP() << "budget exhausted (allowed)";
+  EXPECT_TRUE(er.enc.injective());
+  for (const auto& ic : icr.constraints) {
+    EXPECT_TRUE(encoding::constraint_satisfied(er.enc, ic))
+        << GetParam() << " " << ic.states.to_string();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(TinyMachines, ExactPipelineTest,
+                         testing::Values("lion", "bbtas", "dk27", "tav",
+                                         "shiftreg", "beecount"));
+
+// Constraint-weight sanity across all real (non-synthetic) machines.
+class ConstraintSweep : public testing::TestWithParam<const char*> {};
+
+TEST_P(ConstraintSweep, WeightsAndCardinalities) {
+  auto f = bench_data::load_benchmark(GetParam());
+  auto icr = constraints::extract_input_constraints(f);
+  EXPECT_GT(icr.minimized_cubes, 0);
+  int total_weight = 0;
+  for (const auto& ic : icr.constraints) {
+    EXPECT_GE(ic.cardinality(), 2);
+    EXPECT_LT(ic.cardinality(), f.num_states());
+    EXPECT_GE(ic.weight, 1);
+    total_weight += ic.weight;
+  }
+  // Each constraint occurrence is a product term of the minimized cover.
+  EXPECT_LE(total_weight, icr.minimized_cubes);
+}
+
+INSTANTIATE_TEST_SUITE_P(RealMachines, ConstraintSweep,
+                         testing::Values("lion", "lion9", "bbtas", "dk27",
+                                         "shiftreg", "modulo12", "tav",
+                                         "beecount", "train11"));
+
+}  // namespace

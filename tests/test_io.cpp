@@ -1,0 +1,202 @@
+// Tests for iohybrid_code / iovariant_code (paper Example 6.2.2.1) and
+// out_encoder.
+#include "encoding/io.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+using namespace nova::encoding;
+using nova::constraints::make_constraint;
+using nova::util::BitVec;
+using nova::util::Rng;
+
+namespace {
+
+/// Paper Example 6.2.2.1 (states renumbered 0-based: paper state i -> i-1).
+struct Example6221 {
+  std::vector<InputConstraint> ics;
+  std::vector<OutputCluster> clusters;
+  std::vector<std::vector<BitVec>> cluster_ics;
+  std::vector<InputConstraint> output_only;
+};
+
+Example6221 example6221() {
+  Example6221 e;
+  auto add_cluster = [&](int next, std::vector<std::pair<int, int>> edges,
+                         const char* icbits, int w) {
+    OutputCluster c;
+    c.next_state = next;
+    for (auto [u, v] : edges) c.edges.push_back({u, v});
+    c.weight = w;
+    e.clusters.push_back(c);
+    std::vector<BitVec> ic;
+    if (icbits) {
+      BitVec b = BitVec::from_string(icbits);
+      ic.push_back(b);
+      e.ics.push_back({b, w});
+    }
+    e.cluster_ics.push_back(ic);
+  };
+  // (IC_o; w) = (01010101; 1)
+  e.output_only.push_back(make_constraint("01010101", 1));
+  e.ics.push_back(make_constraint("01010101", 1));
+  // (IC_1; OC_1; w_1) = (phi; 2>1,...,8>1; 4)
+  add_cluster(0, {{1, 0}, {2, 0}, {3, 0}, {4, 0}, {5, 0}, {6, 0}, {7, 0}},
+              nullptr, 4);
+  add_cluster(1, {{5, 1}}, "00110000", 1);
+  add_cluster(2, {{6, 2}}, "00001100", 2);
+  add_cluster(3, {{7, 3}}, "00000011", 1);
+  add_cluster(4, {{5, 4}, {6, 4}, {7, 4}}, nullptr, 1);
+  add_cluster(5, {}, "00110000", 3);
+  add_cluster(6, {}, "00001100", 1);
+  add_cluster(7, {}, "00000011", 1);
+  return e;
+}
+
+}  // namespace
+
+TEST(IoHybrid, PaperExample6221) {
+  Example6221 e = example6221();
+  HybridOptions opts;
+  opts.nbits = 3;
+  IoResult r = iohybrid_code(e.ics, e.clusters, 8, opts);
+  EXPECT_EQ(r.enc.nbits, 3);
+  EXPECT_TRUE(r.enc.injective());
+  // Reported satisfactions must be real.
+  for (const auto& ic : r.sic) EXPECT_TRUE(constraint_satisfied(r.enc, ic));
+  for (int ci : r.soc) EXPECT_TRUE(cluster_satisfied(r.enc, e.clusters[ci]));
+  // The known solution ENC = (000,010,100,110,001,011,101,111) satisfies
+  // everything; our encoder should satisfy a substantial part.
+  int wsat = 0, wtot = 0;
+  for (size_t i = 0; i < e.clusters.size(); ++i) {
+    wtot += e.clusters[i].weight;
+    bool in_soc = false;
+    for (int ci : r.soc) in_soc |= ci == static_cast<int>(i);
+    if (in_soc || (e.clusters[i].edges.empty() &&
+                   cluster_satisfied(r.enc, e.clusters[i])))
+      wsat += e.clusters[i].weight;
+  }
+  EXPECT_GT(wsat, 0) << "some cluster weight should be won (total " << wtot
+                     << ")";
+}
+
+TEST(IoHybrid, KnownSolutionSatisfiesExample6221) {
+  // Cross-check the paper's stated solution with our checkers.
+  Example6221 e = example6221();
+  Encoding enc;
+  enc.nbits = 3;
+  // Paper codes for states 1..8 (MSB-first): 000,010,100,110,001,011,101,111
+  enc.codes = {0b000, 0b010, 0b100, 0b110, 0b001, 0b011, 0b101, 0b111};
+  for (const auto& c : e.clusters) {
+    EXPECT_TRUE(cluster_satisfied(enc, c)) << "cluster " << c.next_state;
+  }
+  for (const auto& ic : e.ics) {
+    EXPECT_TRUE(constraint_satisfied(enc, ic)) << ic.states.to_string();
+  }
+}
+
+TEST(IoHybrid, InputConstraintsTakePriority) {
+  // A covering constraint that conflicts with nothing; inputs satisfied.
+  std::vector<InputConstraint> ics = {make_constraint("1100")};
+  OutputCluster c;
+  c.next_state = 0;
+  c.edges = {{0, 1}};
+  c.weight = 2;
+  IoResult r = iohybrid_code(ics, {c}, 4, {});
+  EXPECT_TRUE(r.enc.injective());
+  ASSERT_EQ(r.sic.size(), 1u);
+  EXPECT_TRUE(constraint_satisfied(r.enc, r.sic[0]));
+}
+
+TEST(IoHybrid, EmptyInputConstraintsUsesOutEncoder) {
+  OutputCluster c;
+  c.next_state = 0;
+  c.edges = {{0, 1}, {0, 2}};
+  c.weight = 1;
+  IoResult r = iohybrid_code({}, {c}, 4, {});
+  EXPECT_TRUE(r.enc.injective());
+  ASSERT_EQ(r.soc.size(), 1u);
+  EXPECT_TRUE(cluster_satisfied(r.enc, c));
+}
+
+TEST(IoVariant, PaperExample6221) {
+  Example6221 e = example6221();
+  HybridOptions opts;
+  opts.nbits = 3;
+  IoResult r = iovariant_code(e.output_only, e.clusters, e.cluster_ics, 8,
+                              opts);
+  EXPECT_EQ(r.enc.nbits, 3);
+  EXPECT_TRUE(r.enc.injective());
+  for (const auto& ic : r.sic) EXPECT_TRUE(constraint_satisfied(r.enc, ic));
+  for (int ci : r.soc) EXPECT_TRUE(cluster_satisfied(r.enc, e.clusters[ci]));
+}
+
+TEST(OutEncoder, SimpleChain) {
+  // 0 covers 1, 1 covers 2.
+  std::vector<OutputConstraint> ocs = {{0, 1}, {1, 2}};
+  Encoding e = out_encoder(ocs, 3);
+  EXPECT_TRUE(e.injective());
+  for (const auto& oc : ocs) EXPECT_TRUE(covering_satisfied(e, oc));
+}
+
+TEST(OutEncoder, Diamond) {
+  // 0 covers 1 and 2; both cover 3.
+  std::vector<OutputConstraint> ocs = {{0, 1}, {0, 2}, {1, 3}, {2, 3}};
+  Encoding e = out_encoder(ocs, 4);
+  EXPECT_TRUE(e.injective());
+  for (const auto& oc : ocs) EXPECT_TRUE(covering_satisfied(e, oc));
+}
+
+TEST(OutEncoder, NoConstraintsCompactCodes) {
+  Encoding e = out_encoder({}, 5);
+  EXPECT_TRUE(e.injective());
+  EXPECT_LE(e.nbits, 5);
+}
+
+TEST(OutEncoder, RandomDagsAlwaysSatisfied) {
+  Rng rng(88);
+  for (int trial = 0; trial < 30; ++trial) {
+    int n = 3 + rng.uniform(8);
+    std::vector<OutputConstraint> ocs;
+    // Edges only from lower to higher index: guaranteed DAG (u covers v
+    // with u > v as indices is fine either way; keep u < v).
+    for (int u = 0; u < n; ++u) {
+      for (int v = u + 1; v < n; ++v) {
+        if (rng.chance(0.2)) ocs.push_back({u, v});
+      }
+    }
+    Encoding e = out_encoder(ocs, n);
+    EXPECT_TRUE(e.injective()) << "trial " << trial;
+    for (const auto& oc : ocs) {
+      EXPECT_TRUE(covering_satisfied(e, oc)) << "trial " << trial;
+    }
+  }
+}
+
+TEST(IoHybrid, ProjectionKeepsReportedClustersSatisfied) {
+  // Force projection: many input constraints at a small starting length.
+  Rng rng(123);
+  int n = 9;
+  std::vector<InputConstraint> ics;
+  for (int i = 0; i < 8; ++i) {
+    BitVec s(n);
+    for (int b = 0; b < n; ++b) {
+      if (rng.chance(0.4)) s.set(b);
+    }
+    if (s.count() >= 2 && s.count() < n) ics.push_back({s, 1 + rng.uniform(4)});
+  }
+  OutputCluster c;
+  c.next_state = 0;
+  c.edges = {{0, 1}};
+  c.weight = 3;
+  HybridOptions opts;
+  opts.nbits = 8;
+  IoResult r = iohybrid_code(ics, {c}, n, opts);
+  EXPECT_TRUE(r.enc.injective());
+  for (const auto& ic : r.sic) EXPECT_TRUE(constraint_satisfied(r.enc, ic));
+  for (int ci : r.soc) {
+    EXPECT_EQ(ci, 0);
+    EXPECT_TRUE(cluster_satisfied(r.enc, c));
+  }
+}

@@ -1,0 +1,177 @@
+#include "mlopt/algebraic.hpp"
+
+#include <gtest/gtest.h>
+
+#include "mlopt/bridge.hpp"
+#include "util/rng.hpp"
+
+using namespace nova::mlopt;
+
+namespace {
+// Literal helpers: p(v) = positive, n(v) = complemented.
+Lit p(int v) { return 2 * v + 1; }
+Lit n(int v) { return 2 * v; }
+}  // namespace
+
+TEST(Algebraic, NormalizeSortsAndDedups) {
+  Sop f = {{p(2), p(0)}, {p(0), p(2)}, {p(1)}};
+  Sop g = normalize(f);
+  EXPECT_EQ(g.size(), 2u);
+  // Cubes sort lexicographically by literal id: {p(0),p(2)} = {1,5} first.
+  EXPECT_EQ(g[0], (CubeL{p(0), p(2)}));
+  EXPECT_EQ(g[1], (CubeL{p(1)}));
+}
+
+TEST(Algebraic, SopLiterals) {
+  Sop f = {{p(0), p(1)}, {n(2)}};
+  EXPECT_EQ(sop_literals(f), 3);
+}
+
+TEST(Algebraic, DivideTextbook) {
+  // f = ab + ac + ad + bc -> f / a = b + c + d, remainder bc.
+  Sop f = normalize({{p(0), p(1)}, {p(0), p(2)}, {p(0), p(3)}, {p(1), p(2)}});
+  Sop r;
+  Sop q = divide(f, {{p(0)}}, &r);
+  EXPECT_EQ(normalize(q),
+            normalize(Sop{{p(1)}, {p(2)}, {p(3)}}));
+  EXPECT_EQ(normalize(r), normalize(Sop{{p(1), p(2)}}));
+}
+
+TEST(Algebraic, DivideByMultiCubeDivisor) {
+  // f = (a+b)(c+d) + e = ac+ad+bc+bd+e ; f / (c+d) = a+b, remainder e.
+  Sop f = normalize({{p(0), p(2)},
+                     {p(0), p(3)},
+                     {p(1), p(2)},
+                     {p(1), p(3)},
+                     {p(4)}});
+  Sop d = {{p(2)}, {p(3)}};
+  Sop r;
+  Sop q = divide(f, d, &r);
+  EXPECT_EQ(normalize(q), normalize(Sop{{p(0)}, {p(1)}}));
+  EXPECT_EQ(normalize(r), normalize(Sop{{p(4)}}));
+}
+
+TEST(Algebraic, DivideFailure) {
+  Sop f = {{p(0), p(1)}};
+  Sop q = divide(f, {{p(2)}});
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(Algebraic, CommonCube) {
+  Sop f = normalize({{p(0), p(1), p(2)}, {p(0), p(2), p(3)}});
+  EXPECT_EQ(common_cube(f), (CubeL{p(0), p(2)}));
+  EXPECT_FALSE(cube_free(f));
+  Sop g = normalize({{p(0)}, {p(1)}});
+  EXPECT_TRUE(cube_free(g));
+}
+
+TEST(Algebraic, KernelsTextbook) {
+  // f = adf + aef + bdf + bef + cdf + cef + g
+  //   = (a+b+c)(d+e)f + g. Kernels include (a+b+c), (d+e), and f itself
+  //   without the common cube... classic example from the MIS papers.
+  Sop f = normalize({{p(0), p(3), p(5)},
+                     {p(0), p(4), p(5)},
+                     {p(1), p(3), p(5)},
+                     {p(1), p(4), p(5)},
+                     {p(2), p(3), p(5)},
+                     {p(2), p(4), p(5)},
+                     {p(6)}});
+  auto ks = kernels(f);
+  auto has = [&](const Sop& k) {
+    for (const auto& x : ks) {
+      if (x == normalize(k)) return true;
+    }
+    return false;
+  };
+  EXPECT_TRUE(has({{p(0)}, {p(1)}, {p(2)}}));
+  EXPECT_TRUE(has({{p(3)}, {p(4)}}));
+  EXPECT_FALSE(ks.empty());
+}
+
+TEST(Algebraic, KernelsOfCubeFreeSop) {
+  Sop f = normalize({{p(0)}, {p(1)}});
+  auto ks = kernels(f);
+  ASSERT_EQ(ks.size(), 1u);  // only f itself
+  EXPECT_EQ(ks[0], f);
+}
+
+TEST(Algebraic, FactoredLiteralsSingleCube) {
+  EXPECT_EQ(factored_literals({{p(0), p(1), n(2)}}), 3);
+  EXPECT_EQ(factored_literals({}), 0);
+}
+
+TEST(Algebraic, FactoredBeatsFlatOnFactorableSop) {
+  // f = ac + ad + bc + bd = (a+b)(c+d): flat 8 literals, factored 4.
+  Sop f = normalize(
+      {{p(0), p(2)}, {p(0), p(3)}, {p(1), p(2)}, {p(1), p(3)}});
+  EXPECT_EQ(sop_literals(f), 8);
+  EXPECT_EQ(factored_literals(f), 4);
+}
+
+TEST(Algebraic, FactoredCommonCube) {
+  // f = abc + abd = ab(c+d): 4 literals factored.
+  Sop f = normalize({{p(0), p(1), p(2)}, {p(0), p(1), p(3)}});
+  EXPECT_EQ(factored_literals(f), 4);
+}
+
+TEST(Algebraic, FactoredNoWorseThanFlat) {
+  nova::util::Rng rng(55);
+  for (int trial = 0; trial < 40; ++trial) {
+    Sop f;
+    int ncubes = 1 + rng.uniform(8);
+    for (int i = 0; i < ncubes; ++i) {
+      CubeL c;
+      for (int v = 0; v < 6; ++v) {
+        int r = rng.uniform(3);
+        if (r == 0) c.push_back(n(v));
+        if (r == 1) c.push_back(p(v));
+      }
+      if (!c.empty()) f.push_back(c);
+    }
+    if (f.empty()) continue;
+    f = normalize(f);
+    EXPECT_LE(factored_literals(f), sop_literals(f)) << "trial " << trial;
+  }
+}
+
+TEST(Algebraic, NetworkSharedExtraction) {
+  // Two outputs sharing (a+b): extraction pays off across the network.
+  Sop f1 = normalize({{p(0), p(2)}, {p(1), p(2)}, {p(0), p(3)}, {p(1), p(3)}});
+  Sop f2 = normalize({{p(0), p(4)}, {p(1), p(4)}, {p(0), p(5)}, {p(1), p(5)}});
+  NetworkResult r = optimize_network({f1, f2}, 6);
+  EXPECT_EQ(r.sop_lits, 16);
+  EXPECT_LT(r.literals, r.sop_lits);
+  EXPECT_GE(r.divisors, 1);
+}
+
+TEST(Algebraic, NetworkNoStructure) {
+  Sop f = {{p(0)}};
+  NetworkResult r = optimize_network({f}, 1);
+  EXPECT_EQ(r.literals, 1);
+  EXPECT_EQ(r.divisors, 0);
+}
+
+TEST(Bridge, SopsFromCover) {
+  using namespace nova::logic;
+  // 2 binary vars + output var with 2 values.
+  CubeSpec spec({2, 2, 2});
+  Cover g(spec);
+  {
+    Cube c = Cube::full(spec);
+    c.set_binary_from_pla(spec, 0, "01");
+    c.set_value(spec, 2, 0);
+    g.add(c);
+  }
+  {
+    Cube c = Cube::full(spec);
+    c.set_binary_from_pla(spec, 0, "-1");
+    c.set(spec.bit(2, 0));  // both outputs asserted
+    g.add(c);
+  }
+  auto sops = sops_from_cover(g, 2, 2);
+  ASSERT_EQ(sops.size(), 2u);
+  EXPECT_EQ(sops[0].size(), 2u);  // output 0: both cubes
+  EXPECT_EQ(sops[1].size(), 1u);  // output 1: second cube only
+  // First cube of output 0: x0' x1 -> literals {n(0), p(1)}.
+  EXPECT_EQ(sops[0][0], (CubeL{n(0), p(1)}));
+}

@@ -1,0 +1,201 @@
+// End-to-end driver tests: encoded-PLA construction, minimization, area,
+// and functional equivalence of the encoded implementation with the FSM.
+#include "nova/nova.hpp"
+
+#include <gtest/gtest.h>
+
+#include "bench_data/benchmarks.hpp"
+#include "fsm/kiss_io.hpp"
+#include "util/rng.hpp"
+
+using namespace nova::driver;
+using nova::bench_data::load_benchmark;
+using nova::util::Rng;
+
+namespace {
+
+/// Random-walk functional equivalence: drive FSM and encoded PLA together.
+void check_equivalence(const nova::fsm::Fsm& f, const Encoding& enc,
+                       const EvalResult& ev, int steps, uint64_t seed) {
+  Rng rng(seed);
+  int state = f.reset_state();
+  for (int i = 0; i < steps; ++i) {
+    std::string in(f.num_inputs(), '0');
+    for (auto& c : in) c = rng.chance(0.5) ? '1' : '0';
+    auto ref = f.step(state, in);
+    if (!ref || ref->first < 0) {
+      state = f.reset_state();
+      continue;  // unspecified: any implementation behaviour is legal
+    }
+    std::string got = simulate_pla(ev, f, in, enc.codes[state]);
+    // Next-state code must match exactly.
+    uint64_t ncode = 0;
+    for (int b = 0; b < enc.nbits; ++b) {
+      if (got[b] == '1') ncode |= uint64_t{1} << b;
+    }
+    EXPECT_EQ(ncode, enc.codes[ref->first])
+        << "step " << i << " state " << f.state_name(state) << " in " << in;
+    // Specified outputs must match; '-' outputs are free.
+    for (int j = 0; j < f.num_outputs(); ++j) {
+      if (ref->second[j] != '-') {
+        EXPECT_EQ(got[enc.nbits + j], ref->second[j])
+            << "output " << j << " step " << i;
+      }
+    }
+    state = ref->first;
+  }
+}
+
+}  // namespace
+
+TEST(PlaArea, Formula) {
+  // (2*(#in + #bits) + #bits + #out) * #cubes -- spot values from Table III.
+  EXPECT_EQ(pla_area(7, 5, 2, 48), 1488);   // keyb
+  EXPECT_EQ(pla_area(7, 6, 19, 86), 4386);  // planet
+  EXPECT_EQ(pla_area(2, 3, 2, 8), 120);     // bbtas
+}
+
+TEST(Evaluate, ShiftregIsTiny) {
+  auto f = load_benchmark("shiftreg");
+  // The natural 3-bit shift encoding: state index = register contents.
+  Encoding enc;
+  enc.nbits = 3;
+  enc.codes = {0, 1, 2, 3, 4, 5, 6, 7};
+  EvalResult ev = evaluate_encoding(f, enc);
+  // next = (in, b2, b1), out = b0: 4 cubes suffice (one per output bit of
+  // {n2,n1,n0,out}); espresso should get close.
+  EXPECT_LE(ev.metrics.cubes, 6);
+  check_equivalence(f, enc, ev, 200, 1);
+}
+
+TEST(Evaluate, EquivalenceAcrossAlgorithms) {
+  for (const char* name : {"lion", "bbtas", "dk27", "train11"}) {
+    auto f = load_benchmark(name);
+    for (auto alg : {Algorithm::kIHybrid, Algorithm::kIGreedy,
+                     Algorithm::kRandom, Algorithm::kMustangFanout}) {
+      NovaOptions opts;
+      opts.algorithm = alg;
+      NovaResult r = encode_fsm(f, opts);
+      ASSERT_TRUE(r.success);
+      EXPECT_TRUE(r.enc.injective()) << name;
+      EvalResult ev = evaluate_encoding(f, r.enc);
+      EXPECT_EQ(ev.metrics.cubes, r.metrics.cubes);
+      check_equivalence(f, r.enc, ev, 150, 7);
+    }
+  }
+}
+
+TEST(Evaluate, IoHybridEquivalence) {
+  for (const char* name : {"lion", "bbtas", "modulo12"}) {
+    auto f = load_benchmark(name);
+    NovaOptions opts;
+    opts.algorithm = Algorithm::kIoHybrid;
+    NovaResult r = encode_fsm(f, opts);
+    EvalResult ev = evaluate_encoding(f, r.enc);
+    check_equivalence(f, r.enc, ev, 150, 9);
+  }
+}
+
+TEST(Evaluate, AreaMatchesComponents) {
+  auto f = load_benchmark("lion");
+  NovaOptions opts;
+  NovaResult r = encode_fsm(f, opts);
+  EXPECT_EQ(r.metrics.area,
+            pla_area(f.num_inputs(), r.metrics.nbits, f.num_outputs(),
+                     r.metrics.cubes));
+}
+
+TEST(Evaluate, OneHotMetrics) {
+  auto f = load_benchmark("shiftreg");
+  PlaMetrics m = one_hot_metrics(f);
+  EXPECT_EQ(m.nbits, 8);
+  EXPECT_GT(m.cubes, 0);
+  // 1-hot cube count is at most the number of rows.
+  EXPECT_LE(m.cubes, f.num_transitions());
+}
+
+TEST(Evaluate, HybridBeatsOrMatchesRandomOnAverage) {
+  // The headline qualitative claim, on small machines: NOVA's ihybrid area
+  // is no worse than the average of random encodings.
+  for (const char* name : {"bbtas", "dk27", "train11"}) {
+    auto f = load_benchmark(name);
+    NovaOptions hopts;
+    hopts.algorithm = Algorithm::kIHybrid;
+    NovaResult h = encode_fsm(f, hopts);
+    long rand_total = 0;
+    const int kTrials = 5;
+    for (int t = 0; t < kTrials; ++t) {
+      NovaOptions ropts;
+      ropts.algorithm = Algorithm::kRandom;
+      ropts.seed = 100 + t;
+      rand_total += encode_fsm(f, ropts).metrics.area;
+    }
+    EXPECT_LE(h.metrics.area, rand_total / kTrials) << name;
+  }
+}
+
+TEST(Evaluate, PerOutputSops) {
+  auto f = load_benchmark("lion");
+  NovaResult r = encode_fsm(f, {});
+  EvalResult ev = evaluate_encoding(f, r.enc);
+  auto sops = per_output_sops(ev, r.metrics.nbits + f.num_outputs());
+  ASSERT_EQ(sops.size(), static_cast<size_t>(r.metrics.nbits + 1));
+  int total = 0;
+  for (const auto& s : sops) total += static_cast<int>(s.size());
+  EXPECT_GT(total, 0);
+}
+
+TEST(Evaluate, SatisfactionStatsReported) {
+  auto f = load_benchmark("train11");
+  NovaOptions opts;
+  opts.algorithm = Algorithm::kIHybrid;
+  NovaResult r = encode_fsm(f, opts);
+  EXPECT_GE(r.constraints_total, r.constraints_satisfied);
+  EXPECT_GE(r.weight_satisfied, 0);
+}
+
+TEST(Evaluate, KissSatisfiesEverything) {
+  auto f = load_benchmark("bbtas");
+  NovaOptions opts;
+  opts.algorithm = Algorithm::kKiss;
+  NovaResult r = encode_fsm(f, opts);
+  EXPECT_EQ(r.constraints_satisfied, r.constraints_total);
+}
+
+TEST(BenchData, Table1Shape) {
+  const auto& t = nova::bench_data::table1_benchmarks();
+  EXPECT_EQ(t.size(), 30u);
+  // Ordered by increasing number of states (paper figure order).
+  for (size_t i = 1; i < t.size(); ++i)
+    EXPECT_LE(t[i - 1].states, t[i].states);
+}
+
+TEST(BenchData, AllBenchmarksLoadAndValidate) {
+  for (const auto& b : nova::bench_data::table1_benchmarks()) {
+    auto f = load_benchmark(b.name);
+    EXPECT_EQ(f.num_inputs(), b.inputs) << b.name;
+    EXPECT_EQ(f.num_outputs(), b.outputs) << b.name;
+    EXPECT_EQ(f.num_states(), b.states) << b.name;
+    EXPECT_LE(f.num_transitions(), b.terms) << b.name;
+    for (const auto& issue : f.validate()) {
+      EXPECT_NE(issue.kind, nova::fsm::Fsm::ValidationIssue::kNondeterministic)
+          << b.name << ": " << issue.detail;
+    }
+  }
+  for (const auto& b : nova::bench_data::table5_extras()) {
+    auto f = load_benchmark(b.name);
+    EXPECT_EQ(f.num_states(), b.states) << b.name;
+  }
+}
+
+TEST(BenchData, GeneratorDeterministic) {
+  auto a = nova::bench_data::generate_structured_fsm("x", 3, 2, 9, 40, 42);
+  auto b = nova::bench_data::generate_structured_fsm("x", 3, 2, 9, 40, 42);
+  EXPECT_EQ(nova::fsm::write_kiss_string(a), nova::fsm::write_kiss_string(b));
+  auto c = nova::bench_data::generate_structured_fsm("x", 3, 2, 9, 40, 43);
+  EXPECT_NE(nova::fsm::write_kiss_string(a), nova::fsm::write_kiss_string(c));
+}
+
+TEST(BenchData, UnknownNameThrows) {
+  EXPECT_THROW(load_benchmark("nosuch"), std::runtime_error);
+}

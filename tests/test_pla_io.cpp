@@ -1,0 +1,81 @@
+#include "logic/pla_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include "logic/espresso.hpp"
+
+using namespace nova::logic;
+
+namespace {
+const char* kSample =
+    "# a comment\n"
+    ".i 3\n"
+    ".o 2\n"
+    ".ilb a b c\n"
+    ".ob f g\n"
+    ".p 4\n"
+    "0-1 10\n"
+    "11- 01\n"
+    "000 1-\n"
+    "--- 00\n"
+    ".e\n";
+}  // namespace
+
+TEST(PlaIo, ParseBasics) {
+  Pla p = parse_pla_string(kSample);
+  EXPECT_EQ(p.num_inputs, 3);
+  EXPECT_EQ(p.num_outputs, 2);
+  EXPECT_EQ(p.input_labels.size(), 3u);
+  EXPECT_EQ(p.output_labels[1], "g");
+  // The all-zero-output row asserts nothing: 3 on-cubes, 1 dc-cube.
+  EXPECT_EQ(p.on.size(), 3);
+  EXPECT_EQ(p.dc.size(), 1);
+}
+
+TEST(PlaIo, InferDimensionsFromRows) {
+  Pla p = parse_pla_string("01 1\n10 1\n");
+  EXPECT_EQ(p.num_inputs, 2);
+  EXPECT_EQ(p.num_outputs, 1);
+  EXPECT_EQ(p.on.size(), 2);
+}
+
+TEST(PlaIo, RoundTrip) {
+  Pla p = parse_pla_string(kSample);
+  std::string text = write_pla_string(p);
+  Pla q = parse_pla_string(text);
+  EXPECT_EQ(q.num_inputs, p.num_inputs);
+  EXPECT_EQ(q.num_outputs, p.num_outputs);
+  EXPECT_EQ(q.on.size(), p.on.size());
+  EXPECT_EQ(q.dc.size(), p.dc.size());
+  // Semantic identity of the on-sets.
+  EXPECT_TRUE(covers_cover(q.on, p.on));
+  EXPECT_TRUE(covers_cover(p.on, q.on));
+}
+
+TEST(PlaIo, WidthMismatchRejected) {
+  EXPECT_THROW(parse_pla_string(".i 3\n.o 1\n01 1\n"), std::runtime_error);
+  EXPECT_THROW(parse_pla_string(".i 2\n.o 2\n01 1\n"), std::runtime_error);
+}
+
+TEST(PlaIo, BadOutputCharRejected) {
+  EXPECT_THROW(parse_pla_string(".i 1\n.o 1\n0 x\n"), std::runtime_error);
+}
+
+TEST(PlaIo, MinimizeParsedPla) {
+  // The classic: f = a'b + ab + a'b' minimizes to b + a' (2 cubes).
+  Pla p = parse_pla_string(
+      ".i 2\n.o 1\n"
+      "01 1\n"
+      "11 1\n"
+      "00 1\n"
+      ".e\n");
+  Cover g = espresso(p.on, p.dc);
+  EXPECT_EQ(g.size(), 2);
+}
+
+TEST(PlaIo, EmptyPla) {
+  Pla p = parse_pla_string(".i 2\n.o 1\n.e\n");
+  EXPECT_TRUE(p.on.empty());
+  std::string text = write_pla_string(p);
+  EXPECT_NE(text.find(".i 2"), std::string::npos);
+}

@@ -1,0 +1,110 @@
+// Structural invariants of the input poset on random constraint sets.
+#include <gtest/gtest.h>
+
+#include "encoding/embed.hpp"
+#include "encoding/poset.hpp"
+#include "util/rng.hpp"
+
+using namespace nova::encoding;
+using nova::util::BitVec;
+using nova::util::Rng;
+
+namespace {
+
+std::vector<InputConstraint> random_ics(int n, Rng& rng, int count) {
+  std::vector<InputConstraint> out;
+  for (int i = 0; i < count; ++i) {
+    BitVec s(n);
+    for (int b = 0; b < n; ++b) {
+      if (rng.chance(0.4)) s.set(b);
+    }
+    if (s.count() >= 2 && s.count() < n) out.push_back({s, 1});
+  }
+  return out;
+}
+
+}  // namespace
+
+class PosetSweep : public testing::TestWithParam<int> {};
+
+TEST_P(PosetSweep, StructuralInvariants) {
+  Rng rng(GetParam() * 101);
+  const int n = 4 + rng.uniform(8);
+  auto ics = random_ics(n, rng, 2 + rng.uniform(5));
+  InputGraph ig(ics, n);
+
+  // Universe present and unique.
+  EXPECT_EQ(ig.node(ig.universe()).cardinality(), n);
+
+  for (int i = 0; i < ig.size(); ++i) {
+    const auto& node = ig.node(i);
+    // Fathers strictly contain the node and are minimal.
+    for (int fa : node.fathers) {
+      EXPECT_TRUE(ig.node(fa).set.contains(node.set));
+      EXPECT_NE(ig.node(fa).set, node.set);
+      for (int fb : node.fathers) {
+        if (fa == fb) continue;
+        // No father contains another father.
+        EXPECT_FALSE(ig.node(fa).set.contains(ig.node(fb).set) &&
+                     ig.node(fa).set != ig.node(fb).set);
+      }
+    }
+    // Children relation is the inverse of fathers.
+    for (int ch : node.children) {
+      bool back = false;
+      for (int fa : ig.node(ch).fathers) back |= fa == i;
+      EXPECT_TRUE(back);
+    }
+    // Category definitions.
+    if (i == ig.universe()) {
+      EXPECT_EQ(node.category, 0);
+    } else if (node.fathers.size() > 1) {
+      EXPECT_EQ(node.category, 2);
+      // A category-2 node equals the intersection of its fathers (closure
+      // fixpoint property exploited by the embedding engine).
+      BitVec m = ig.node(node.fathers[0]).set;
+      for (int fa : node.fathers) m &= ig.node(fa).set;
+      EXPECT_EQ(m, node.set);
+    } else if (ig.node(node.fathers[0]).cardinality() == n) {
+      EXPECT_EQ(node.category, 1);
+    } else {
+      EXPECT_EQ(node.category, 3);
+    }
+  }
+
+  // Closure: all pairwise intersections of cardinality >= 2 are nodes.
+  for (int i = 0; i < ig.size(); ++i) {
+    for (int j = i + 1; j < ig.size(); ++j) {
+      BitVec m = ig.node(i).set & ig.node(j).set;
+      if (m.count() >= 2) {
+        EXPECT_GE(ig.find(m), 0)
+            << ig.node(i).set.to_string() << " n "
+            << ig.node(j).set.to_string();
+      }
+    }
+  }
+
+  // mincube_dim is a true lower bound: never below ceil(log2 n), and any
+  // successful exact embedding must use at least that many bits.
+  int lb = mincube_dim(ig);
+  EXPECT_GE(lb, min_code_length(n));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PosetSweep, testing::Range(1, 25));
+
+TEST(PosetLowerBound, NeverExceedsExactAnswer) {
+  // On instances small enough for iexact, mincube_dim <= optimal bits.
+  Rng rng(4242);
+  for (int trial = 0; trial < 10; ++trial) {
+    int n = 4 + rng.uniform(4);
+    auto ics = random_ics(n, rng, 2);
+    InputGraph ig(ics, n);
+    int lb = mincube_dim(ig);
+    ExactOptions eo;
+    eo.max_work = 500000;
+    auto r = iexact_code(ig, eo);
+    if (r.success) {
+      EXPECT_LE(lb, r.nbits) << "trial " << trial;
+    }
+  }
+}

@@ -1,0 +1,186 @@
+// Parameterized property sweeps (TEST_P) over problem sizes and seeds:
+// the library's core invariants checked across a grid of configurations.
+#include <gtest/gtest.h>
+
+#include "encoding/baselines.hpp"
+#include "encoding/embed.hpp"
+#include "encoding/hybrid.hpp"
+#include "encoding/polish.hpp"
+#include "logic/espresso.hpp"
+#include "logic/exact.hpp"
+#include "util/rng.hpp"
+
+using namespace nova;
+using namespace nova::encoding;
+using nova::util::BitVec;
+using nova::util::Rng;
+
+// ---------------------------------------------------------------- encoders
+struct EncConfig {
+  int num_states;
+  int extra_bits;
+  uint64_t seed;
+};
+
+class EncoderSweep : public testing::TestWithParam<EncConfig> {
+ protected:
+  std::vector<InputConstraint> random_constraints(int n, Rng& rng, int count) {
+    std::vector<InputConstraint> out;
+    for (int i = 0; i < count; ++i) {
+      BitVec s(n);
+      for (int b = 0; b < n; ++b) {
+        if (rng.chance(0.35)) s.set(b);
+      }
+      if (s.count() >= 2 && s.count() < n)
+        out.push_back({s, 1 + rng.uniform(5)});
+    }
+    return out;
+  }
+};
+
+TEST_P(EncoderSweep, IHybridInvariants) {
+  auto [n, extra, seed] = GetParam();
+  Rng rng(seed);
+  auto ics = random_constraints(n, rng, 6);
+  HybridOptions ho;
+  ho.nbits = min_code_length(n) + extra;
+  auto r = ihybrid_code(ics, n, ho);
+  EXPECT_TRUE(r.enc.injective());
+  EXPECT_EQ(r.enc.num_states(), n);
+  EXPECT_LE(r.enc.nbits, ho.nbits);
+  // Reported SIC/RIC sets must be accurate and form a partition.
+  EXPECT_EQ(r.sic.size() + r.ric.size(), ics.size());
+  for (const auto& ic : r.sic) EXPECT_TRUE(constraint_satisfied(r.enc, ic));
+  for (const auto& ic : r.ric) EXPECT_FALSE(constraint_satisfied(r.enc, ic));
+}
+
+TEST_P(EncoderSweep, IGreedyInvariants) {
+  auto [n, extra, seed] = GetParam();
+  Rng rng(seed ^ 0xabcdef);
+  auto ics = random_constraints(n, rng, 6);
+  auto r = igreedy_code(ics, n, min_code_length(n) + extra);
+  EXPECT_TRUE(r.enc.injective());
+  EXPECT_EQ(r.satisfied + r.unsatisfied, static_cast<int>(ics.size()));
+}
+
+TEST_P(EncoderSweep, PolishMonotone) {
+  auto [n, extra, seed] = GetParam();
+  Rng rng(seed ^ 0x123456);
+  auto ics = random_constraints(n, rng, 8);
+  Encoding enc = random_encoding(n, min_code_length(n) + extra, rng);
+  auto before = summarize_satisfaction(enc, ics);
+  polish_encoding(enc, ics);
+  auto after = summarize_satisfaction(enc, ics);
+  EXPECT_GE(after.weight_satisfied, before.weight_satisfied);
+  EXPECT_TRUE(enc.injective());
+}
+
+TEST_P(EncoderSweep, ProjectionChainSatisfiesEverything) {
+  auto [n, extra, seed] = GetParam();
+  (void)extra;
+  Rng rng(seed ^ 0x777);
+  auto ics = random_constraints(n, rng, 5);
+  Encoding enc = random_encoding(n, min_code_length(n), rng);
+  std::vector<InputConstraint> sic, ric = ics;
+  // Sweep already-satisfied ones into SIC first (project_code contract).
+  for (auto it = ric.begin(); it != ric.end();) {
+    if (constraint_satisfied(enc, *it)) {
+      sic.push_back(*it);
+      it = ric.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  int guard = 0;
+  while (!ric.empty() && guard++ < 40) enc = project_code(enc, sic, ric);
+  EXPECT_TRUE(ric.empty());
+  for (const auto& ic : ics) EXPECT_TRUE(constraint_satisfied(enc, ic));
+  EXPECT_TRUE(enc.injective());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, EncoderSweep,
+    testing::Values(EncConfig{4, 0, 1}, EncConfig{5, 0, 2},
+                    EncConfig{6, 1, 3}, EncConfig{7, 0, 4},
+                    EncConfig{8, 1, 5}, EncConfig{9, 0, 6},
+                    EncConfig{10, 1, 7}, EncConfig{12, 0, 8},
+                    EncConfig{14, 1, 9}, EncConfig{16, 0, 10}),
+    [](const testing::TestParamInfo<EncConfig>& i) {
+      return "n" + std::to_string(i.param.num_states) + "e" +
+             std::to_string(i.param.extra_bits) + "s" +
+             std::to_string(i.param.seed);
+    });
+
+// ---------------------------------------------------------------- espresso
+struct MinConfig {
+  int vars;
+  int cubes;
+  uint64_t seed;
+};
+
+class EspressoSweep : public testing::TestWithParam<MinConfig> {};
+
+TEST_P(EspressoSweep, EquivalentAndNearOptimal) {
+  auto [nv, nc, seed] = GetParam();
+  Rng rng(seed);
+  logic::CubeSpec spec = logic::CubeSpec::binary(nv);
+  logic::Cover on(spec);
+  for (int i = 0; i < nc; ++i) {
+    std::string row(nv, '-');
+    for (auto& ch : row) {
+      int r = rng.uniform(3);
+      ch = r == 0 ? '0' : (r == 1 ? '1' : '-');
+    }
+    logic::Cube q = logic::Cube::full(spec);
+    q.set_binary_from_pla(spec, 0, row);
+    on.add(q);
+  }
+  if (on.empty()) GTEST_SKIP();
+  logic::Cover g = logic::espresso(on);
+  auto ex = logic::exact_minimize(on);
+  ASSERT_TRUE(ex.optimal);
+  EXPECT_GE(g.size(), ex.cover.size());
+  // The heuristic should be within one cube of optimal at these sizes.
+  EXPECT_LE(g.size(), ex.cover.size() + 1);
+  // Semantic equivalence via mutual coverage.
+  EXPECT_TRUE(logic::covers_cover(g, ex.cover));
+  EXPECT_TRUE(logic::covers_cover(ex.cover, g));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, EspressoSweep,
+    testing::Values(MinConfig{3, 3, 11}, MinConfig{3, 6, 12},
+                    MinConfig{4, 4, 13}, MinConfig{4, 8, 14},
+                    MinConfig{5, 5, 15}, MinConfig{5, 10, 16},
+                    MinConfig{6, 6, 17}, MinConfig{6, 12, 18}),
+    [](const testing::TestParamInfo<MinConfig>& i) {
+      return "v" + std::to_string(i.param.vars) + "c" +
+             std::to_string(i.param.cubes) + "s" +
+             std::to_string(i.param.seed);
+    });
+
+// ------------------------------------------------------------- embeddings
+class DimensionSweep : public testing::TestWithParam<int> {};
+
+TEST_P(DimensionSweep, SingleConstraintAlwaysEmbedsWithSlack) {
+  const int n = GetParam();
+  Rng rng(n * 31);
+  BitVec s(n);
+  for (int b = 0; b < n; ++b) {
+    if (rng.chance(0.5)) s.set(b);
+  }
+  if (s.count() < 2 || s.count() >= n) GTEST_SKIP();
+  std::vector<InputConstraint> ics = {{s, 1}};
+  // One extra dimension beyond the constraint's own need always suffices.
+  int minlev = 0;
+  while ((1 << minlev) < s.count()) ++minlev;
+  int k = std::max(min_code_length(n), minlev) + 1;
+  EmbedOptions eo;
+  eo.max_work = 500000;
+  EmbedResult r = semiexact_code(ics, n, k, eo);
+  ASSERT_TRUE(r.success) << "n=" << n << " k=" << k;
+  EXPECT_TRUE(constraint_satisfied(r.enc, ics[0]));
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, DimensionSweep,
+                         testing::Range(4, 17));

@@ -1,0 +1,200 @@
+// Quality properties of the two-level minimizer: primality of expanded
+// cubes, irredundancy of the final cover, and behaviour on named functions
+// with known minimal covers.
+#include <gtest/gtest.h>
+
+#include "logic/espresso.hpp"
+#include "util/rng.hpp"
+
+using namespace nova::logic;
+using nova::util::Rng;
+
+namespace {
+
+Cover from_pla(const CubeSpec& s, std::initializer_list<const char*> rows) {
+  Cover c(s);
+  for (const char* r : rows) {
+    Cube q = Cube::full(s);
+    q.set_binary_from_pla(s, 0, r);
+    c.add(q);
+  }
+  return c;
+}
+
+Cover random_cover(int n, int ncubes, Rng& rng, double dash = 0.4) {
+  CubeSpec s = CubeSpec::binary(n);
+  Cover f(s);
+  for (int i = 0; i < ncubes; ++i) {
+    std::string row(n, '-');
+    for (auto& ch : row) {
+      double r = rng.uniform01();
+      ch = r < dash ? '-' : (r < dash + (1 - dash) / 2 ? '0' : '1');
+    }
+    Cube q = Cube::full(s);
+    q.set_binary_from_pla(s, 0, row);
+    f.add(q);
+  }
+  return f;
+}
+
+}  // namespace
+
+TEST(EspressoQuality, ExpandedCubesArePrime) {
+  // Property: after espresso, no cube can have any single bit raised
+  // without intersecting the off-set (i.e. every cube is prime).
+  Rng rng(321);
+  for (int trial = 0; trial < 20; ++trial) {
+    int n = 4 + rng.uniform(3);
+    Cover on = random_cover(n, 3 + rng.uniform(6), rng);
+    if (on.empty()) continue;
+    Cover off = complement(on);
+    Cover g = espresso(on);
+    for (const auto& c : g) {
+      for (int b = 0; b < g.spec().total_bits(); ++b) {
+        if (c.get(b)) continue;
+        Cube raised = c;
+        raised.set(b);
+        bool hits_off = false;
+        for (const auto& d : off) {
+          if (raised.intersects(g.spec(), d)) {
+            hits_off = true;
+            break;
+          }
+        }
+        EXPECT_TRUE(hits_off)
+            << "trial " << trial << ": cube " << c.to_string(g.spec())
+            << " can raise bit " << b << " -- not prime";
+      }
+    }
+  }
+}
+
+TEST(EspressoQuality, FinalCoverIsIrredundant) {
+  Rng rng(654);
+  for (int trial = 0; trial < 20; ++trial) {
+    int n = 4 + rng.uniform(3);
+    Cover on = random_cover(n, 3 + rng.uniform(6), rng);
+    if (on.empty()) continue;
+    Cover g = espresso(on);
+    for (int i = 0; i < g.size(); ++i) {
+      Cover rest(g.spec());
+      for (int j = 0; j < g.size(); ++j) {
+        if (j != i) rest.add(g[j]);
+      }
+      EXPECT_FALSE(covers_cube(rest, g[i]))
+          << "trial " << trial << ": cube " << i << " redundant";
+    }
+  }
+}
+
+TEST(EspressoQuality, MajorityFunctionMinimal) {
+  // maj(a,b,c) = ab + ac + bc: exactly 3 prime cubes.
+  CubeSpec s = CubeSpec::binary(3);
+  Cover on = from_pla(s, {"110", "101", "011", "111"});
+  Cover g = espresso(on);
+  EXPECT_EQ(g.size(), 3);
+}
+
+TEST(EspressoQuality, FullAdderSum) {
+  // sum = a xor b xor cin: 4 minterms, no merging possible.
+  CubeSpec s = CubeSpec::binary(3);
+  Cover on = from_pla(s, {"100", "010", "001", "111"});
+  Cover g = espresso(on);
+  EXPECT_EQ(g.size(), 4);
+}
+
+TEST(EspressoQuality, FullAdderCarryMultiOutput) {
+  // Two outputs (sum, carry) as a characteristic function: sharing between
+  // outputs must not break semantics; cube count at most 4 + 3 and at
+  // least max(4, 3).
+  CubeSpec s({2, 2, 2, 2});  // a, b, cin, output-id
+  Cover on(s);
+  auto add = [&](const char* row, int out) {
+    Cube c = Cube::full(s);
+    c.set_binary_from_pla(s, 0, row);
+    c.set_value(s, 3, out);
+    on.add(c);
+  };
+  for (const char* r : {"100", "010", "001", "111"}) add(r, 0);
+  for (const char* r : {"110", "101", "011", "111"}) add(r, 1);  // non-min
+  Cover g = espresso(on);
+  EXPECT_GE(g.size(), 4);
+  EXPECT_LE(g.size(), 7);
+  // Exact semantics on all 8x2 points.
+  for (unsigned m = 0; m < 8; ++m) {
+    int a = m & 1, b = (m >> 1) & 1, cin = (m >> 2) & 1;
+    bool sum = (a ^ b ^ cin) != 0;
+    bool carry = (a + b + cin) >= 2;
+    for (int o = 0; o < 2; ++o) {
+      Cube q = Cube::full(s);
+      std::string row = {char('0' + a), char('0' + b), char('0' + cin)};
+      q.set_binary_from_pla(s, 0, row);
+      q.set_value(s, 3, o);
+      EXPECT_EQ(covers_minterm(g, q), o == 0 ? sum : carry) << m << " " << o;
+    }
+  }
+}
+
+TEST(EspressoQuality, DontCaresNeverAssertedUnlessUseful) {
+  // A DC minterm may appear in the cover only as part of a larger cube.
+  CubeSpec s = CubeSpec::binary(3);
+  Cover on = from_pla(s, {"000"});
+  Cover dc = from_pla(s, {"111"});
+  Cover g = espresso(on, dc);
+  EXPECT_EQ(g.size(), 1);
+  // The isolated don't-care is useless here; the result should be exactly
+  // the single on-set minterm (possibly expanded toward nothing).
+  Cube q = Cube::full(s);
+  q.set_binary_from_pla(s, 0, "111");
+  // Asserting 111 alone gains nothing but is legal; asserting it means the
+  // cube would not be the minterm 000 anymore: verify cover covers 000.
+  Cube p = Cube::full(s);
+  p.set_binary_from_pla(s, 0, "000");
+  EXPECT_TRUE(covers_minterm(g, p));
+}
+
+TEST(EspressoQuality, ShrinkageOnRandomMintermClouds) {
+  // Dense random minterm sets over few variables must compress well below
+  // the input count (sanity check on overall minimization power).
+  Rng rng(987);
+  CubeSpec s = CubeSpec::binary(4);
+  Cover on(s);
+  for (unsigned m = 0; m < 16; ++m) {
+    if (rng.chance(0.7)) {
+      std::string row(4, '0');
+      for (int i = 0; i < 4; ++i) row[i] = (m >> i) & 1 ? '1' : '0';
+      Cube q = Cube::full(s);
+      q.set_binary_from_pla(s, 0, row);
+      on.add(q);
+    }
+  }
+  if (on.size() >= 8) {
+    Cover g = espresso(on);
+    EXPECT_LT(g.size(), on.size());
+  }
+}
+
+TEST(EspressoQuality, MvCoverWithLargeVariable) {
+  // A 16-valued variable and a binary one; values {0..7} asserted under
+  // x=0, {8..15} under x=1 -- expect exactly 2 cubes.
+  CubeSpec s({2, 16});
+  Cover on(s);
+  for (int v = 0; v < 16; ++v) {
+    Cube c = Cube::full(s);
+    c.set_binary_from_pla(s, 0, v < 8 ? "0" : "1");
+    c.set_value(s, 1, v);
+    on.add(c);
+  }
+  Cover g = espresso(on);
+  EXPECT_EQ(g.size(), 2);
+}
+
+TEST(EspressoQuality, IdempotentOnMinimalCover) {
+  CubeSpec s = CubeSpec::binary(3);
+  Cover on = from_pla(s, {"1--", "-1-"});
+  Cover g1 = espresso(on);
+  Cover g2 = espresso(g1);
+  EXPECT_EQ(g1.size(), g2.size());
+  EXPECT_TRUE(covers_cover(g1, g2));
+  EXPECT_TRUE(covers_cover(g2, g1));
+}

@@ -1,0 +1,135 @@
+// Regression tests for bugs found and fixed during development. Each case
+// pins the exact scenario that used to go wrong.
+#include <gtest/gtest.h>
+
+#include "bench_data/benchmarks.hpp"
+#include "constraints/input_constraints.hpp"
+#include "encoding/hybrid.hpp"
+#include "encoding/io.hpp"
+#include "fsm/minimize.hpp"
+#include "logic/espresso.hpp"
+#include "logic/exact.hpp"
+#include "nova/nova.hpp"
+
+using namespace nova;
+using namespace nova::logic;
+
+namespace {
+Cover from_pla(const CubeSpec& s, std::initializer_list<const char*> rows) {
+  Cover c(s);
+  for (const char* r : rows) {
+    Cube q = Cube::full(s);
+    q.set_binary_from_pla(s, 0, r);
+    c.add(q);
+  }
+  return c;
+}
+}  // namespace
+
+// BUG 1: the essential-prime test used "covered by the rest of the cover",
+// which declares EVERY cube of an irredundant cover essential, freezing
+// the reduce/expand loop at the first local minimum. The fix uses
+// distance-1 consensus augmentation (espresso-II). Symptom: the tav
+// machine's encoded PLA stuck at 16 cubes when 7 is optimal.
+TEST(Regression, EssentialsDoNotFreezeTheLoop) {
+  auto f = bench_data::load_benchmark("tav");
+  auto ics = constraints::extract_input_constraints(f).constraints;
+  auto hr = encoding::ihybrid_code(ics, f.num_states(), {});
+  auto ev = driver::evaluate_encoding(f, hr.enc);
+  auto ex = exact_minimize(ev.minimized);
+  ASSERT_TRUE(ex.optimal);
+  EXPECT_EQ(ev.metrics.cubes, ex.cover.size())
+      << "espresso left the tav local minimum unescaped";
+}
+
+// BUG 1b: with the broken test, an irredundant two-cube cover had zero
+// non-essential cubes. The fixed test must still mark genuinely essential
+// primes as essential (each covers a private minterm).
+TEST(Regression, TrueEssentialsStillDetected) {
+  CubeSpec s = CubeSpec::binary(2);
+  Cover F = from_pla(s, {"0-", "-1"});
+  auto [ess, rest] = essentials(F, Cover(s));
+  EXPECT_EQ(ess.size(), 2);
+  EXPECT_EQ(rest.size(), 0);
+}
+
+// ... and primes covered by the consensus of their neighbours must be
+// non-essential (the cover of x'y + xy' + consensus xx' slice).
+TEST(Regression, ConsensusCoveredPrimeIsNotEssential) {
+  CubeSpec s = CubeSpec::binary(3);
+  // f = ab + a'c + bc: bc is the consensus term, not essential.
+  Cover F = from_pla(s, {"11-", "0-1", "-11"});
+  auto [ess, rest] = essentials(F, Cover(s));
+  EXPECT_EQ(rest.size(), 1);
+  // The non-essential cube is exactly bc.
+  Cube bc = Cube::full(s);
+  bc.set_binary_from_pla(s, 0, "-11");
+  ASSERT_EQ(rest.size(), 1);
+  EXPECT_EQ(rest[0], bc);
+}
+
+// BUG 2: igreedy anchored constraints with no coded member at vertex 0,
+// so disjoint constraints piled onto the same corner and placement failed.
+// Fixed by seeding each such constraint at a fresh free vertex.
+TEST(Regression, IGreedyHandlesDisjointConstraints) {
+  using nova::constraints::make_constraint;
+  std::vector<encoding::InputConstraint> ics = {
+      make_constraint("11000000"), make_constraint("00110000"),
+      make_constraint("00001100"), make_constraint("00000011")};
+  auto r = encoding::igreedy_code(ics, 8, 3);
+  EXPECT_TRUE(r.enc.injective());
+  EXPECT_EQ(r.satisfied, 4) << "all four disjoint pairs fit in a 3-cube";
+}
+
+// BUG 3: partial face overlap combined with set containment was accepted
+// by the embedding verifier (the intersection node check only fired when
+// the intersection node was already assigned). The fixed verifier rejects
+// it outright; this instance exercises that path via nested constraints.
+TEST(Regression, NestedConstraintsEmbedCorrectly) {
+  using nova::constraints::make_constraint;
+  std::vector<encoding::InputConstraint> ics = {
+      make_constraint("111100"), make_constraint("011000"),
+      make_constraint("110000")};
+  encoding::EmbedOptions eo;
+  eo.max_work = 300000;
+  auto r = encoding::semiexact_code(ics, 6, 3, eo);
+  if (r.success) {
+    for (const auto& ic : ics) {
+      EXPECT_TRUE(encoding::constraint_satisfied(r.enc, ic))
+          << ic.states.to_string();
+    }
+  }
+}
+
+// BUG 4: the structured benchmark generator produced more rows than the
+// Table-I budget because row dropping was probabilistic. It is exact now.
+TEST(Regression, GeneratorRespectsTermBudget) {
+  for (const auto& b : bench_data::table1_benchmarks()) {
+    if (!b.synthetic) continue;
+    auto f = bench_data::load_benchmark(b.name);
+    EXPECT_LE(f.num_transitions(), b.terms) << b.name;
+  }
+}
+
+// BUG 5: lion9's hand-written table was nondeterministic ("01" overlapped
+// "-1" in st3) and later behaviourally collapsible to 2 states. The
+// current table is deterministic and non-degenerate.
+TEST(Regression, Lion9DeterministicAndNonDegenerate) {
+  auto f = bench_data::load_benchmark("lion9");
+  for (const auto& issue : f.validate()) {
+    EXPECT_NE(issue.kind, fsm::Fsm::ValidationIssue::kNondeterministic)
+        << issue.detail;
+  }
+  auto red = fsm::minimize_states(f);
+  ASSERT_TRUE(red.applied);
+  EXPECT_GE(red.classes, 8) << "lion9 must not collapse to a toy machine";
+}
+
+// BUG 6: out_encoder shifted 1 << state for state >= 64 (UB). The wide
+// fallback must return a sane injective encoding.
+TEST(Regression, OutEncoderWideStatesNoUb) {
+  std::vector<encoding::OutputConstraint> ocs;
+  for (int i = 0; i < 32; ++i) ocs.push_back({i, i + 32});
+  auto e = encoding::out_encoder(ocs, 70);
+  EXPECT_TRUE(e.injective());
+}
