@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_asterisk.dir/bench/bench_asterisk.cpp.o"
+  "CMakeFiles/bench_asterisk.dir/bench/bench_asterisk.cpp.o.d"
+  "bench/bench_asterisk"
+  "bench/bench_asterisk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_asterisk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_exactmin.dir/bench/bench_exactmin.cpp.o"
+  "CMakeFiles/bench_exactmin.dir/bench/bench_exactmin.cpp.o.d"
+  "bench/bench_exactmin"
+  "bench/bench_exactmin.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_exactmin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

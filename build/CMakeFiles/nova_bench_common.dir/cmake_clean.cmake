@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nova_bench_common.dir/bench/bench_common.cpp.o"
+  "CMakeFiles/nova_bench_common.dir/bench/bench_common.cpp.o.d"
+  "libnova_bench_common.a"
+  "libnova_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nova_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

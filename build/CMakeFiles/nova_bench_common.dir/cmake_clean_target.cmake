@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libnova_bench_common.a"
+)

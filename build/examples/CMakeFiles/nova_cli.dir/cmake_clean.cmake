@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nova_cli.dir/nova_cli.cpp.o"
+  "CMakeFiles/nova_cli.dir/nova_cli.cpp.o.d"
+  "nova_cli"
+  "nova_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nova_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/opcode_encoding.dir/opcode_encoding.cpp.o"
+  "CMakeFiles/opcode_encoding.dir/opcode_encoding.cpp.o.d"
+  "opcode_encoding"
+  "opcode_encoding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/opcode_encoding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

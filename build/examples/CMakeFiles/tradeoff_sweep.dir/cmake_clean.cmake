@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tradeoff_sweep.dir/tradeoff_sweep.cpp.o"
+  "CMakeFiles/tradeoff_sweep.dir/tradeoff_sweep.cpp.o.d"
+  "tradeoff_sweep"
+  "tradeoff_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tradeoff_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

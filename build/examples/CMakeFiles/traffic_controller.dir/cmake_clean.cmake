@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/traffic_controller.dir/traffic_controller.cpp.o"
+  "CMakeFiles/traffic_controller.dir/traffic_controller.cpp.o.d"
+  "traffic_controller"
+  "traffic_controller.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/traffic_controller.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

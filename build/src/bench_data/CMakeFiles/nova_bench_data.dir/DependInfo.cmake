@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bench_data/benchmarks.cpp" "src/bench_data/CMakeFiles/nova_bench_data.dir/benchmarks.cpp.o" "gcc" "src/bench_data/CMakeFiles/nova_bench_data.dir/benchmarks.cpp.o.d"
+  "/root/repo/src/bench_data/kiss_texts.cpp" "src/bench_data/CMakeFiles/nova_bench_data.dir/kiss_texts.cpp.o" "gcc" "src/bench_data/CMakeFiles/nova_bench_data.dir/kiss_texts.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/fsm/CMakeFiles/nova_fsm.dir/DependInfo.cmake"
+  "/root/repo/build/src/logic/CMakeFiles/nova_logic.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nova_bench_data.dir/benchmarks.cpp.o"
+  "CMakeFiles/nova_bench_data.dir/benchmarks.cpp.o.d"
+  "CMakeFiles/nova_bench_data.dir/kiss_texts.cpp.o"
+  "CMakeFiles/nova_bench_data.dir/kiss_texts.cpp.o.d"
+  "libnova_bench_data.a"
+  "libnova_bench_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nova_bench_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+src/bench_data/CMakeFiles/nova_bench_data.dir/kiss_texts.cpp.o: \
+ /root/repo/src/bench_data/kiss_texts.cpp /usr/include/stdc-predef.h \
+ /root/repo/src/bench_data/kiss_texts.hpp

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/constraints/constraints.cpp" "src/constraints/CMakeFiles/nova_constraints.dir/constraints.cpp.o" "gcc" "src/constraints/CMakeFiles/nova_constraints.dir/constraints.cpp.o.d"
+  "/root/repo/src/constraints/disjoint_min.cpp" "src/constraints/CMakeFiles/nova_constraints.dir/disjoint_min.cpp.o" "gcc" "src/constraints/CMakeFiles/nova_constraints.dir/disjoint_min.cpp.o.d"
+  "/root/repo/src/constraints/input_constraints.cpp" "src/constraints/CMakeFiles/nova_constraints.dir/input_constraints.cpp.o" "gcc" "src/constraints/CMakeFiles/nova_constraints.dir/input_constraints.cpp.o.d"
+  "/root/repo/src/constraints/symbolic_min.cpp" "src/constraints/CMakeFiles/nova_constraints.dir/symbolic_min.cpp.o" "gcc" "src/constraints/CMakeFiles/nova_constraints.dir/symbolic_min.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/fsm/CMakeFiles/nova_fsm.dir/DependInfo.cmake"
+  "/root/repo/build/src/logic/CMakeFiles/nova_logic.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

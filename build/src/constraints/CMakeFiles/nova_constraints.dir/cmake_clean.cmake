@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nova_constraints.dir/constraints.cpp.o"
+  "CMakeFiles/nova_constraints.dir/constraints.cpp.o.d"
+  "CMakeFiles/nova_constraints.dir/disjoint_min.cpp.o"
+  "CMakeFiles/nova_constraints.dir/disjoint_min.cpp.o.d"
+  "CMakeFiles/nova_constraints.dir/input_constraints.cpp.o"
+  "CMakeFiles/nova_constraints.dir/input_constraints.cpp.o.d"
+  "CMakeFiles/nova_constraints.dir/symbolic_min.cpp.o"
+  "CMakeFiles/nova_constraints.dir/symbolic_min.cpp.o.d"
+  "libnova_constraints.a"
+  "libnova_constraints.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nova_constraints.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

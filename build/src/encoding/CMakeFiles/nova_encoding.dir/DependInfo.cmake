@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/encoding/analysis.cpp" "src/encoding/CMakeFiles/nova_encoding.dir/analysis.cpp.o" "gcc" "src/encoding/CMakeFiles/nova_encoding.dir/analysis.cpp.o.d"
+  "/root/repo/src/encoding/baselines.cpp" "src/encoding/CMakeFiles/nova_encoding.dir/baselines.cpp.o" "gcc" "src/encoding/CMakeFiles/nova_encoding.dir/baselines.cpp.o.d"
+  "/root/repo/src/encoding/embed.cpp" "src/encoding/CMakeFiles/nova_encoding.dir/embed.cpp.o" "gcc" "src/encoding/CMakeFiles/nova_encoding.dir/embed.cpp.o.d"
+  "/root/repo/src/encoding/encoding.cpp" "src/encoding/CMakeFiles/nova_encoding.dir/encoding.cpp.o" "gcc" "src/encoding/CMakeFiles/nova_encoding.dir/encoding.cpp.o.d"
+  "/root/repo/src/encoding/hybrid.cpp" "src/encoding/CMakeFiles/nova_encoding.dir/hybrid.cpp.o" "gcc" "src/encoding/CMakeFiles/nova_encoding.dir/hybrid.cpp.o.d"
+  "/root/repo/src/encoding/io.cpp" "src/encoding/CMakeFiles/nova_encoding.dir/io.cpp.o" "gcc" "src/encoding/CMakeFiles/nova_encoding.dir/io.cpp.o.d"
+  "/root/repo/src/encoding/polish.cpp" "src/encoding/CMakeFiles/nova_encoding.dir/polish.cpp.o" "gcc" "src/encoding/CMakeFiles/nova_encoding.dir/polish.cpp.o.d"
+  "/root/repo/src/encoding/poset.cpp" "src/encoding/CMakeFiles/nova_encoding.dir/poset.cpp.o" "gcc" "src/encoding/CMakeFiles/nova_encoding.dir/poset.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/constraints/CMakeFiles/nova_constraints.dir/DependInfo.cmake"
+  "/root/repo/build/src/fsm/CMakeFiles/nova_fsm.dir/DependInfo.cmake"
+  "/root/repo/build/src/logic/CMakeFiles/nova_logic.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

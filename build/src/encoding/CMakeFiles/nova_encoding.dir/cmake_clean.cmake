@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nova_encoding.dir/analysis.cpp.o"
+  "CMakeFiles/nova_encoding.dir/analysis.cpp.o.d"
+  "CMakeFiles/nova_encoding.dir/baselines.cpp.o"
+  "CMakeFiles/nova_encoding.dir/baselines.cpp.o.d"
+  "CMakeFiles/nova_encoding.dir/embed.cpp.o"
+  "CMakeFiles/nova_encoding.dir/embed.cpp.o.d"
+  "CMakeFiles/nova_encoding.dir/encoding.cpp.o"
+  "CMakeFiles/nova_encoding.dir/encoding.cpp.o.d"
+  "CMakeFiles/nova_encoding.dir/hybrid.cpp.o"
+  "CMakeFiles/nova_encoding.dir/hybrid.cpp.o.d"
+  "CMakeFiles/nova_encoding.dir/io.cpp.o"
+  "CMakeFiles/nova_encoding.dir/io.cpp.o.d"
+  "CMakeFiles/nova_encoding.dir/polish.cpp.o"
+  "CMakeFiles/nova_encoding.dir/polish.cpp.o.d"
+  "CMakeFiles/nova_encoding.dir/poset.cpp.o"
+  "CMakeFiles/nova_encoding.dir/poset.cpp.o.d"
+  "libnova_encoding.a"
+  "libnova_encoding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nova_encoding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

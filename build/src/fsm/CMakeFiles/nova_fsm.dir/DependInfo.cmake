@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fsm/dot_export.cpp" "src/fsm/CMakeFiles/nova_fsm.dir/dot_export.cpp.o" "gcc" "src/fsm/CMakeFiles/nova_fsm.dir/dot_export.cpp.o.d"
+  "/root/repo/src/fsm/fsm.cpp" "src/fsm/CMakeFiles/nova_fsm.dir/fsm.cpp.o" "gcc" "src/fsm/CMakeFiles/nova_fsm.dir/fsm.cpp.o.d"
+  "/root/repo/src/fsm/kiss_io.cpp" "src/fsm/CMakeFiles/nova_fsm.dir/kiss_io.cpp.o" "gcc" "src/fsm/CMakeFiles/nova_fsm.dir/kiss_io.cpp.o.d"
+  "/root/repo/src/fsm/minimize.cpp" "src/fsm/CMakeFiles/nova_fsm.dir/minimize.cpp.o" "gcc" "src/fsm/CMakeFiles/nova_fsm.dir/minimize.cpp.o.d"
+  "/root/repo/src/fsm/symbolic.cpp" "src/fsm/CMakeFiles/nova_fsm.dir/symbolic.cpp.o" "gcc" "src/fsm/CMakeFiles/nova_fsm.dir/symbolic.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/logic/CMakeFiles/nova_logic.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nova_fsm.dir/dot_export.cpp.o"
+  "CMakeFiles/nova_fsm.dir/dot_export.cpp.o.d"
+  "CMakeFiles/nova_fsm.dir/fsm.cpp.o"
+  "CMakeFiles/nova_fsm.dir/fsm.cpp.o.d"
+  "CMakeFiles/nova_fsm.dir/kiss_io.cpp.o"
+  "CMakeFiles/nova_fsm.dir/kiss_io.cpp.o.d"
+  "CMakeFiles/nova_fsm.dir/minimize.cpp.o"
+  "CMakeFiles/nova_fsm.dir/minimize.cpp.o.d"
+  "CMakeFiles/nova_fsm.dir/symbolic.cpp.o"
+  "CMakeFiles/nova_fsm.dir/symbolic.cpp.o.d"
+  "libnova_fsm.a"
+  "libnova_fsm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nova_fsm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/logic/cover.cpp" "src/logic/CMakeFiles/nova_logic.dir/cover.cpp.o" "gcc" "src/logic/CMakeFiles/nova_logic.dir/cover.cpp.o.d"
+  "/root/repo/src/logic/espresso.cpp" "src/logic/CMakeFiles/nova_logic.dir/espresso.cpp.o" "gcc" "src/logic/CMakeFiles/nova_logic.dir/espresso.cpp.o.d"
+  "/root/repo/src/logic/exact.cpp" "src/logic/CMakeFiles/nova_logic.dir/exact.cpp.o" "gcc" "src/logic/CMakeFiles/nova_logic.dir/exact.cpp.o.d"
+  "/root/repo/src/logic/pla_io.cpp" "src/logic/CMakeFiles/nova_logic.dir/pla_io.cpp.o" "gcc" "src/logic/CMakeFiles/nova_logic.dir/pla_io.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nova_logic.dir/cover.cpp.o"
+  "CMakeFiles/nova_logic.dir/cover.cpp.o.d"
+  "CMakeFiles/nova_logic.dir/espresso.cpp.o"
+  "CMakeFiles/nova_logic.dir/espresso.cpp.o.d"
+  "CMakeFiles/nova_logic.dir/exact.cpp.o"
+  "CMakeFiles/nova_logic.dir/exact.cpp.o.d"
+  "CMakeFiles/nova_logic.dir/pla_io.cpp.o"
+  "CMakeFiles/nova_logic.dir/pla_io.cpp.o.d"
+  "libnova_logic.a"
+  "libnova_logic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nova_logic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

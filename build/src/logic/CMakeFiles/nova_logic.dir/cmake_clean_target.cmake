@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libnova_logic.a"
+)

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nova_mlopt.dir/algebraic.cpp.o"
+  "CMakeFiles/nova_mlopt.dir/algebraic.cpp.o.d"
+  "CMakeFiles/nova_mlopt.dir/bridge.cpp.o"
+  "CMakeFiles/nova_mlopt.dir/bridge.cpp.o.d"
+  "libnova_mlopt.a"
+  "libnova_mlopt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nova_mlopt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for nova_mlopt.
+# This may be replaced when dependencies are built.

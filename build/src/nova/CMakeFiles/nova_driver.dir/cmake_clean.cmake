@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nova_driver.dir/nova.cpp.o"
+  "CMakeFiles/nova_driver.dir/nova.cpp.o.d"
+  "CMakeFiles/nova_driver.dir/symbolic_inputs.cpp.o"
+  "CMakeFiles/nova_driver.dir/symbolic_inputs.cpp.o.d"
+  "CMakeFiles/nova_driver.dir/verify.cpp.o"
+  "CMakeFiles/nova_driver.dir/verify.cpp.o.d"
+  "libnova_driver.a"
+  "libnova_driver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nova_driver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_disjoint.cpp" "tests/CMakeFiles/test_disjoint.dir/test_disjoint.cpp.o" "gcc" "tests/CMakeFiles/test_disjoint.dir/test_disjoint.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/logic/CMakeFiles/nova_logic.dir/DependInfo.cmake"
+  "/root/repo/build/src/constraints/CMakeFiles/nova_constraints.dir/DependInfo.cmake"
+  "/root/repo/build/src/bench_data/CMakeFiles/nova_bench_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/fsm/CMakeFiles/nova_fsm.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

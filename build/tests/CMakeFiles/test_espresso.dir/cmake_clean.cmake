@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_espresso.dir/test_espresso.cpp.o"
+  "CMakeFiles/test_espresso.dir/test_espresso.cpp.o.d"
+  "test_espresso"
+  "test_espresso.pdb"
+  "test_espresso[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_espresso.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mlopt.dir/test_mlopt.cpp.o"
+  "CMakeFiles/test_mlopt.dir/test_mlopt.cpp.o.d"
+  "test_mlopt"
+  "test_mlopt.pdb"
+  "test_mlopt[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mlopt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

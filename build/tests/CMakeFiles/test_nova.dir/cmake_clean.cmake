@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nova.dir/test_nova.cpp.o"
+  "CMakeFiles/test_nova.dir/test_nova.cpp.o.d"
+  "test_nova"
+  "test_nova.pdb"
+  "test_nova[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nova.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pla_io.dir/test_pla_io.cpp.o"
+  "CMakeFiles/test_pla_io.dir/test_pla_io.cpp.o.d"
+  "test_pla_io"
+  "test_pla_io.pdb"
+  "test_pla_io[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pla_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_poset.dir/test_poset.cpp.o"
+  "CMakeFiles/test_poset.dir/test_poset.cpp.o.d"
+  "test_poset"
+  "test_poset.pdb"
+  "test_poset[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_poset.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_poset_properties.dir/test_poset_properties.cpp.o"
+  "CMakeFiles/test_poset_properties.dir/test_poset_properties.cpp.o.d"
+  "test_poset_properties"
+  "test_poset_properties.pdb"
+  "test_poset_properties[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_poset_properties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

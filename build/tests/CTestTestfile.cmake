@@ -1,0 +1,31 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_bitvec[1]_include.cmake")
+include("/root/repo/build/tests/test_cube[1]_include.cmake")
+include("/root/repo/build/tests/test_cover[1]_include.cmake")
+include("/root/repo/build/tests/test_espresso[1]_include.cmake")
+include("/root/repo/build/tests/test_fsm[1]_include.cmake")
+include("/root/repo/build/tests/test_poset[1]_include.cmake")
+include("/root/repo/build/tests/test_embed[1]_include.cmake")
+include("/root/repo/build/tests/test_hybrid[1]_include.cmake")
+include("/root/repo/build/tests/test_io[1]_include.cmake")
+include("/root/repo/build/tests/test_baselines[1]_include.cmake")
+include("/root/repo/build/tests/test_constraints[1]_include.cmake")
+include("/root/repo/build/tests/test_nova[1]_include.cmake")
+include("/root/repo/build/tests/test_mlopt[1]_include.cmake")
+include("/root/repo/build/tests/test_integration[1]_include.cmake")
+include("/root/repo/build/tests/test_pla_io[1]_include.cmake")
+include("/root/repo/build/tests/test_quality[1]_include.cmake")
+include("/root/repo/build/tests/test_edge[1]_include.cmake")
+include("/root/repo/build/tests/test_exact[1]_include.cmake")
+include("/root/repo/build/tests/test_extensions[1]_include.cmake")
+include("/root/repo/build/tests/test_robustness[1]_include.cmake")
+include("/root/repo/build/tests/test_analysis[1]_include.cmake")
+include("/root/repo/build/tests/test_properties[1]_include.cmake")
+include("/root/repo/build/tests/test_poset_properties[1]_include.cmake")
+include("/root/repo/build/tests/test_disjoint[1]_include.cmake")
+include("/root/repo/build/tests/test_regressions[1]_include.cmake")
