@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <functional>
+#include <mutex>
 
 #include "encoding/embed.hpp"
 #include "encoding/polish.hpp"
@@ -16,11 +17,59 @@ double now_seconds() {
              std::chrono::steady_clock::now().time_since_epoch())
       .count();
 }
+
+struct ObsTrajectory {
+  std::mutex mu;
+  obs::Json::Array entries;
+  bool exit_hook_registered = false;
+};
+
+ObsTrajectory& trajectory() {
+  static ObsTrajectory t;
+  return t;
+}
+
+void write_trajectory() {
+  ObsTrajectory& t = trajectory();
+  std::lock_guard<std::mutex> lock(t.mu);
+  if (t.entries.empty()) return;
+  const char* env = std::getenv("NOVA_OBS_JSON");
+  std::string path = env && env[0] ? env : "BENCH_obs.json";
+  obs::Json doc = obs::Json::object();
+  doc.set("version", 1);
+  doc.set("entries", obs::Json(t.entries));
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) {
+    std::fprintf(stderr, "obs: cannot write %s\n", path.c_str());
+    return;
+  }
+  std::string text = doc.dump(2);
+  text += '\n';
+  std::fwrite(text.data(), 1, text.size(), f);
+  std::fclose(f);
+  std::fprintf(stderr, "obs: wrote %zu trajectory entries to %s\n",
+               t.entries.size(), path.c_str());
+}
 }  // namespace
 
 bool fast_mode() {
   const char* v = std::getenv("NOVA_BENCH_FAST");
   return v && v[0] == '1';
+}
+
+bool obs_enabled() { return obs::env_trace_enabled(); }
+
+void obs_append(const std::string& label, const obs::Report& report) {
+  obs::Json entry = obs::Json::object();
+  entry.set("label", label);
+  entry.set("report", report.to_json());
+  ObsTrajectory& t = trajectory();
+  std::lock_guard<std::mutex> lock(t.mu);
+  t.entries.push_back(std::move(entry));
+  if (!t.exit_hook_registered) {
+    t.exit_hook_registered = true;
+    std::atexit(write_trajectory);
+  }
 }
 
 std::vector<std::string> bench_names() {
@@ -33,7 +82,19 @@ std::vector<std::string> bench_names() {
 }
 
 BenchContext::BenchContext(const std::string& name)
-    : name_(name), fsm_(bench_data::load_benchmark(name)) {}
+    : name_(name), fsm_(bench_data::load_benchmark(name)) {
+  if (obs_enabled()) {
+    report_ = std::make_unique<obs::Report>();
+    session_.emplace(*report_);
+  }
+}
+
+BenchContext::~BenchContext() {
+  if (report_) {
+    session_.reset();  // stop collecting before serializing
+    obs_append(name_, *report_);
+  }
+}
 
 int BenchContext::min_length() const {
   return encoding::min_code_length(fsm_.num_states());

@@ -7,8 +7,12 @@
 // Environment knobs:
 //   NOVA_BENCH_FAST=1     shrink random-trial counts and work budgets
 //   NOVA_BENCH_ONLY=name  run a single benchmark by name
+//   NOVA_TRACE=1          collect obs spans/counters per machine and write
+//                         a trajectory file at exit (see NOVA_OBS_JSON)
+//   NOVA_OBS_JSON=path    trajectory file path (default BENCH_obs.json)
 #pragma once
 
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -17,6 +21,7 @@
 #include "constraints/input_constraints.hpp"
 #include "constraints/symbolic_min.hpp"
 #include "nova/nova.hpp"
+#include "obs/obs.hpp"
 
 namespace nova::bench {
 
@@ -35,6 +40,10 @@ struct AlgoResult {
 class BenchContext {
  public:
   explicit BenchContext(const std::string& name);
+  /// Flushes this machine's obs report into the process trajectory.
+  ~BenchContext();
+  BenchContext(const BenchContext&) = delete;
+  BenchContext& operator=(const BenchContext&) = delete;
 
   const fsm::Fsm& fsm() const { return fsm_; }
   const std::string& name() const { return name_; }
@@ -82,9 +91,21 @@ class BenchContext {
   std::optional<constraints::InputConstraintResult> ic_;
   std::optional<constraints::SymbolicMinResult> sm_;
   logic::EspressoOptions eopts_;
+  // With NOVA_TRACE set, everything computed through this context is
+  // collected here and appended to the trajectory on destruction.
+  std::unique_ptr<obs::Report> report_;
+  std::optional<obs::TraceSession> session_;
 };
 
 bool fast_mode();
+
+/// True when NOVA_TRACE requests observability collection.
+bool obs_enabled();
+
+/// Appends a labelled obs report to the process-wide trajectory. The file
+/// ($NOVA_OBS_JSON, default "BENCH_obs.json") is written at process exit:
+///   {"version":1, "entries":[{"label":..., "report":{...}}, ...]}
+void obs_append(const std::string& label, const obs::Report& report);
 
 /// The benchmark names to run (honors NOVA_BENCH_ONLY).
 std::vector<std::string> bench_names();

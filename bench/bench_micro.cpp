@@ -1,8 +1,11 @@
 // Microbenchmarks (google-benchmark) of the library's hot kernels:
 // tautology, complement, espresso, constraint extraction, semiexact
-// embedding, projection, and the satisfaction checker.
+// embedding, projection, and the satisfaction checker; plus the
+// instrumentation-overhead pair (BM_EspressoMidUntraced/Traced) backing
+// the obs layer's <2% disabled-mode overhead claim.
 #include <benchmark/benchmark.h>
 
+#include "bench_common.hpp"
 #include "bench_data/benchmarks.hpp"
 #include "constraints/input_constraints.hpp"
 #include "encoding/baselines.hpp"
@@ -11,6 +14,7 @@
 #include "fsm/symbolic.hpp"
 #include "logic/espresso.hpp"
 #include "nova/nova.hpp"
+#include "obs/obs.hpp"
 #include "util/rng.hpp"
 
 namespace {
@@ -131,6 +135,37 @@ void BM_ProjectCode(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ProjectCode);
+
+// --- instrumentation overhead: the same mid-size espresso run with the
+// trace session off (every obs call is one thread-local test) and on
+// (full span/counter collection). The untraced/traced ratio bounds the
+// disabled-mode overhead of the instrumentation layer; compare the two
+// with --benchmark_filter='EspressoMid'.
+void BM_EspressoMidUntraced(benchmark::State& state) {
+  auto f = bench_data::load_benchmark("train11");
+  auto sc = nova::fsm::build_symbolic_cover(f);
+  for (auto _ : state) {
+    auto g = logic::espresso(sc.on, sc.dc);
+    benchmark::DoNotOptimize(g.size());
+  }
+}
+BENCHMARK(BM_EspressoMidUntraced);
+
+void BM_EspressoMidTraced(benchmark::State& state) {
+  auto f = bench_data::load_benchmark("train11");
+  auto sc = nova::fsm::build_symbolic_cover(f);
+  obs::Report report;
+  {
+    obs::TraceSession session(report);
+    for (auto _ : state) {
+      auto g = logic::espresso(sc.on, sc.dc);
+      benchmark::DoNotOptimize(g.size());
+    }
+  }
+  if (bench::obs_enabled())
+    bench::obs_append("bench_micro.espresso_mid_traced", report);
+}
+BENCHMARK(BM_EspressoMidTraced);
 
 void BM_EvaluateEncoding(benchmark::State& state) {
   auto f = bench_data::load_benchmark("bbtas");

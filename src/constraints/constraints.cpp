@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <map>
 
+#include "obs/obs.hpp"
+
 namespace nova::constraints {
 
 InputConstraint make_constraint(const std::string& bits, int weight) {
@@ -14,6 +16,8 @@ InputConstraint make_constraint(const std::string& bits, int weight) {
 
 std::vector<InputConstraint> normalize_constraints(
     std::vector<InputConstraint> ics, int num_states) {
+  obs::counter_add("constraints.generated",
+                   static_cast<long>(ics.size()));
   std::map<util::BitVec, int> weights;
   for (auto& ic : ics) {
     int c = ic.cardinality();
@@ -31,6 +35,9 @@ std::vector<InputConstraint> normalize_constraints(
               if (ca != cb) return ca > cb;
               return a.states < b.states;
             });
+  obs::counter_add("constraints.deduplicated",
+                   static_cast<long>(ics.size() - out.size()));
+  obs::counter_add("constraints.normalized", static_cast<long>(out.size()));
   return out;
 }
 

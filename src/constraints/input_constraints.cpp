@@ -1,6 +1,7 @@
 #include "constraints/input_constraints.hpp"
 
 #include "fsm/symbolic.hpp"
+#include "obs/obs.hpp"
 
 namespace nova::constraints {
 
@@ -8,12 +9,19 @@ using logic::Cover;
 
 InputConstraintResult extract_input_constraints(
     const fsm::Fsm& fsm, const logic::EspressoOptions& opts) {
+  obs::Span span("constraints.extract");
   InputConstraintResult res;
   fsm::SymbolicCover sc = fsm::build_symbolic_cover(fsm);
   res.symbolic_cubes = sc.on.size();
+  obs::counter_add("constraints.symbolic_cubes", res.symbolic_cubes);
 
-  Cover minimized = logic::espresso(sc.on, sc.dc, opts);
+  Cover minimized;
+  {
+    obs::Span mv("constraints.minimize");
+    minimized = logic::espresso(sc.on, sc.dc, opts);
+  }
   res.minimized_cubes = minimized.size();
+  obs::counter_add("constraints.mv_minimized_cubes", res.minimized_cubes);
 
   const int pv = sc.present_var();
   const int n = sc.num_states;

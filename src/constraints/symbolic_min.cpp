@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <numeric>
 
+#include "obs/obs.hpp"
+
 namespace nova::constraints {
 
 using logic::Cover;
@@ -48,6 +50,7 @@ BitVec present_set(const Cube& c, const CubeSpec& spec, int pv, int n) {
 
 SymbolicMinResult symbolic_minimize(const fsm::Fsm& fsm,
                                     const logic::EspressoOptions& opts) {
+  obs::Span span("constraints.symbolic_min");
   SymbolicMinResult res;
   const int n = fsm.num_states();
   const int ni = fsm.num_inputs();
@@ -230,6 +233,9 @@ SymbolicMinResult symbolic_minimize(const fsm::Fsm& fsm,
   }
 
   res.final_cubes = static_cast<int>(finalp.size());
+  obs::counter_add("constraints.symbolic_final_cubes", res.final_cubes);
+  obs::counter_add("constraints.symbolic_clusters",
+                   static_cast<long>(res.clusters.size()));
 
   // Aggregate all input constraints with occurrence weights.
   std::vector<InputConstraint> raw;

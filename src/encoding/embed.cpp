@@ -4,6 +4,8 @@
 #include <numeric>
 #include <optional>
 
+#include "obs/obs.hpp"
+
 namespace nova::encoding {
 
 namespace {
@@ -140,7 +142,7 @@ class Search {
           res.success = true;
           res.faces = faces_;
           res.enc = extract_encoding();
-          res.work = work_;
+          finish(res);
           return res;
         }
         // Treat as failure of the last choice node.
@@ -149,6 +151,7 @@ class Search {
         continue;
       }
       int node = order_[idx];
+      ++nodes_visited_;
       const PosetNode& pn = ig_.node(node);
       bool placed = false;
       if (pn.category == 2) {
@@ -180,7 +183,7 @@ class Search {
         while (auto f = gens_[idx].next()) {
           if (++work_ > opts_.max_work) {
             res.exhausted = true;
-            res.work = work_;
+            finish(res);
             return res;
           }
           if (verify(node, *f)) {
@@ -203,7 +206,7 @@ class Search {
         break;
       }
     }
-    res.work = work_;
+    finish(res);
     return res;
   }
 
@@ -327,7 +330,14 @@ class Search {
     return e;
   }
 
+  void finish(EmbedResult& res) const {
+    res.work = work_;
+    res.nodes_visited = nodes_visited_;
+    res.backtracks = backtracks_;
+  }
+
   int backtrack(int idx, std::vector<char>& gen_ready) {
+    ++backtracks_;
     // Undo assignments down to the nearest earlier choice node.
     for (int j = idx - 1; j >= 0; --j) {
       int node = order_[j];
@@ -347,6 +357,8 @@ class Search {
   std::vector<char> assigned_;
   std::vector<FaceGen> gens_;
   long work_ = 0;
+  long nodes_visited_ = 0;
+  long backtracks_ = 0;
 };
 
 }  // namespace
@@ -355,11 +367,23 @@ EmbedResult pos_equiv(const InputGraph& ig, int k,
                       const std::vector<int>& dimvect,
                       const EmbedOptions& opts) {
   if (k < 1 || k > 63) return {};
+  obs::Span span("embed.pos_equiv");
   Search s(ig, k, dimvect, opts);
-  return s.run();
+  EmbedResult res = s.run();
+  if (obs::enabled()) {
+    obs::counter_add("embed.calls");
+    obs::counter_add("embed.work", res.work);
+    obs::counter_add("embed.nodes_visited", res.nodes_visited);
+    obs::counter_add("embed.backtracks", res.backtracks);
+    obs::counter_add("embed.budget", opts.max_work);
+    if (res.exhausted) obs::counter_add("embed.exhausted");
+    if (res.success) obs::counter_add("embed.successes");
+  }
+  return res;
 }
 
 ExactResult iexact_code(const InputGraph& ig, const ExactOptions& opts) {
+  obs::Span span("embed.iexact");
   ExactResult res;
   const int n = ig.num_states();
   const int kmax = opts.max_bits > 0 ? opts.max_bits : std::max(n, 1);
@@ -410,6 +434,7 @@ ExactResult iexact_code(const InputGraph& ig, const ExactOptions& opts) {
 
 EmbedResult semiexact_code(const std::vector<InputConstraint>& ics,
                            int num_states, int k, const EmbedOptions& opts) {
+  obs::Span span("embed.semiexact");
   InputGraph ig(ics, num_states);
   // Minimum-level primary faces only (empty dimvect = min levels).
   return pos_equiv(ig, k, {}, opts);

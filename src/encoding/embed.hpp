@@ -34,6 +34,8 @@ struct EmbedResult {
   Encoding enc;              ///< codes per state (valid when success)
   std::vector<Face> faces;   ///< face per poset node (valid when success)
   long work = 0;             ///< assignments attempted
+  long nodes_visited = 0;    ///< poset-node placement attempts
+  long backtracks = 0;       ///< chronological backtracks taken
 };
 
 /// Restricted subposet equivalence for cube dimension k. `dimvect[i]` is the

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/obs.hpp"
+
 namespace nova::logic {
 namespace {
 
@@ -66,6 +68,7 @@ Cover cofactor(const Cover& F, const Cube& p) {
 }
 
 bool tautology(const Cover& F) {
+  obs::counter_add("logic.tautology_calls");
   if (F.empty()) return F.spec().total_bits() == 0;
   const CubeSpec& spec = F.spec();
   // Fast accept: a full cube covers everything.
@@ -100,6 +103,7 @@ bool covers_cover(const Cover& F, const Cover& G) {
 }
 
 Cover complement(const Cover& F) {
+  obs::counter_add("logic.complement_calls");
   const CubeSpec& spec = F.spec();
   Cover R(spec);
   if (F.empty()) {

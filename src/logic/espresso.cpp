@@ -4,6 +4,7 @@
 #include <numeric>
 
 #include "logic/exact.hpp"  // consensus()
+#include "obs/obs.hpp"
 
 namespace nova::logic {
 namespace {
@@ -180,6 +181,9 @@ Cover last_gasp(const Cover& F, const Cover& dc, const Cover& off) {
 }  // namespace
 
 Cover expand(const Cover& F, const Cover& off) {
+  obs::Span span("espresso.expand");
+  obs::counter_add("espresso.expand_calls");
+  obs::counter_add("espresso.expand_cubes_in", F.size());
   const CubeSpec& spec = F.spec();
   // Bit scores: how many cubes of F assert each bit. Raising popular bits
   // makes the expanded cube more likely to swallow other cubes.
@@ -208,10 +212,13 @@ Cover expand(const Cover& F, const Cover& off) {
     R.add(p);
   }
   R.make_scc();
+  obs::counter_add("espresso.expand_cubes_out", R.size());
   return R;
 }
 
 Cover irredundant(const Cover& F, const Cover& dc) {
+  obs::Span span("espresso.irredundant");
+  obs::counter_add("espresso.irredundant_calls");
   // Sequential redundancy removal: drop cube i if the remaining cubes plus
   // the don't-care set still cover it. Order by descending weight so large
   // (likely-overlapping) cubes are considered for deletion first... large
@@ -234,10 +241,13 @@ Cover irredundant(const Cover& F, const Cover& dc) {
   for (int i = 0; i < F.size(); ++i) {
     if (alive[i]) R.add(F[i]);
   }
+  obs::counter_add("espresso.irredundant_removed", F.size() - R.size());
   return R;
 }
 
 Cover reduce(const Cover& F, const Cover& dc) {
+  obs::Span span("espresso.reduce");
+  obs::counter_add("espresso.reduce_calls");
   // reduce(c) = c  ∩  supercube( complement( (F \ c  ∪  DC) cofactored by c ) )
   Cover cur = F;
   std::vector<int> order(F.size());
@@ -261,6 +271,7 @@ Cover reduce(const Cover& F, const Cover& dc) {
 }
 
 std::pair<Cover, Cover> essentials(const Cover& F, const Cover& dc) {
+  obs::Span span("espresso.essentials");
   // A prime e is essential iff it covers a minterm no other prime covers.
   // The espresso test: e is NOT essential iff it is covered by the other
   // cubes *augmented with their consensus terms against e* (the consensus
@@ -294,6 +305,9 @@ std::pair<Cover, Cover> essentials(const Cover& F, const Cover& dc) {
 
 Cover espresso(const Cover& on, const Cover& dc, const EspressoOptions& opts,
                EspressoStats* stats) {
+  obs::Span span("espresso");
+  obs::counter_add("espresso.calls");
+  obs::counter_add("espresso.input_cubes", on.size());
   const CubeSpec& spec = on.spec();
   Cover F = on;
   F.make_scc();
@@ -304,10 +318,13 @@ Cover espresso(const Cover& on, const Cover& dc, const EspressoOptions& opts,
   ondc.add_all(dc);
   Cover off = complement(ondc);
   if (stats) stats->offset_cubes = off.size();
+  obs::counter_peak("espresso.offset_cubes_peak", off.size());
   if (off.size() > opts.max_offset_cubes) {
     if (stats) stats->offset_capped = true;
+    obs::counter_add("espresso.offset_capped");
     Cover R = irredundant(F, dc);
     R.make_scc();
+    obs::counter_add("espresso.output_cubes", R.size());
     return R;
   }
 
@@ -323,6 +340,7 @@ Cover espresso(const Cover& on, const Cover& dc, const EspressoOptions& opts,
   if (!opts.single_pass) {
     for (int it = 0; it < opts.max_iterations; ++it) {
       if (stats) stats->iterations = it + 1;
+      obs::counter_add("espresso.iterations");
       Cover G = reduce(F, dce);
       G = expand(G, off);
       G = irredundant(G, dce);
@@ -338,6 +356,7 @@ Cover espresso(const Cover& on, const Cover& dc, const EspressoOptions& opts,
       if (c < best) {
         best = c;
         F = G;
+        obs::counter_add("espresso.last_gasp_accepts");
       } else {
         break;
       }
@@ -345,6 +364,7 @@ Cover espresso(const Cover& on, const Cover& dc, const EspressoOptions& opts,
   }
   F.add_all(E);
   F.make_scc();
+  obs::counter_add("espresso.output_cubes", F.size());
   (void)spec;
   return F;
 }

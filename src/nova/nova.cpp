@@ -1,6 +1,6 @@
 #include "nova/nova.hpp"
 
-#include <chrono>
+#include <optional>
 
 #include "constraints/input_constraints.hpp"
 #include "constraints/symbolic_min.hpp"
@@ -154,107 +154,158 @@ PlaMetrics one_hot_metrics(const fsm::Fsm& fsm,
 
 NovaResult encode_fsm(const fsm::Fsm& fsm, const NovaOptions& opts) {
   NovaResult res;
-  auto t0 = std::chrono::steady_clock::now();
+  if (opts.trace) res.report = std::make_shared<obs::Report>();
+  // The session installs the report as the thread's active collector; all
+  // spans/counters below (and in the instrumented layers) land in it.
+  std::optional<obs::TraceSession> session;
+  if (res.report) session.emplace(*res.report);
+
   const int n = fsm.num_states();
   util::Rng rng(opts.seed);
+  {
+    obs::Span run_span("nova.run", &res.phases.total);
 
-  std::vector<InputConstraint> ics;
-  if (opts.algorithm != Algorithm::kRandom &&
-      opts.algorithm != Algorithm::kMustangFanout &&
-      opts.algorithm != Algorithm::kMustangFanin &&
-      opts.algorithm != Algorithm::kIoHybrid &&
-      opts.algorithm != Algorithm::kIoVariant) {
-    ics = constraints::extract_input_constraints(fsm, opts.espresso)
-              .constraints;
-  }
-
-  switch (opts.algorithm) {
-    case Algorithm::kIExact: {
-      encoding::InputGraph ig(ics, n);
-      encoding::ExactOptions eo;
-      eo.max_work = opts.exact_work;
-      auto er = encoding::iexact_code(ig, eo);
-      if (!er.success) {
-        res.success = false;
-        return res;
+    // --- extract: input constraints / symbolic minimization -------------
+    std::vector<InputConstraint> ics;
+    std::optional<constraints::SymbolicMinResult> sm;
+    {
+      obs::Span span("nova.extract", &res.phases.extract);
+      if (opts.algorithm == Algorithm::kIoHybrid ||
+          opts.algorithm == Algorithm::kIoVariant) {
+        sm = constraints::symbolic_minimize(fsm, opts.espresso);
+        ics = sm->ic;
+      } else if (opts.algorithm != Algorithm::kRandom &&
+                 opts.algorithm != Algorithm::kMustangFanout &&
+                 opts.algorithm != Algorithm::kMustangFanin) {
+        ics = constraints::extract_input_constraints(fsm, opts.espresso)
+                  .constraints;
       }
-      res.enc = std::move(er.enc);
-      break;
     }
-    case Algorithm::kIHybrid: {
-      encoding::HybridOptions ho;
-      ho.nbits = opts.nbits;
-      ho.max_work = opts.max_work;
-      ho.seed = opts.seed;
-      auto hr = encoding::ihybrid_code(ics, n, ho);
-      res.enc = std::move(hr.enc);
-      res.clength_all = hr.clength_all;
-      if (opts.polish) encoding::polish_encoding(res.enc, ics);
-      break;
+
+    // --- embed: run the selected encoding algorithm ----------------------
+    bool polishable = false;
+    {
+      obs::Span span("nova.embed", &res.phases.embed);
+      switch (opts.algorithm) {
+        case Algorithm::kIExact: {
+          encoding::InputGraph ig(ics, n);
+          encoding::ExactOptions eo;
+          eo.max_work = opts.exact_work;
+          auto er = encoding::iexact_code(ig, eo);
+          if (!er.success) {
+            res.success = false;
+            break;
+          }
+          res.enc = std::move(er.enc);
+          break;
+        }
+        case Algorithm::kIHybrid: {
+          encoding::HybridOptions ho;
+          ho.nbits = opts.nbits;
+          ho.max_work = opts.max_work;
+          ho.seed = opts.seed;
+          auto hr = encoding::ihybrid_code(ics, n, ho);
+          res.enc = std::move(hr.enc);
+          res.clength_all = hr.clength_all;
+          polishable = true;
+          break;
+        }
+        case Algorithm::kIGreedy: {
+          auto gr = encoding::igreedy_code(ics, n, opts.nbits);
+          res.enc = std::move(gr.enc);
+          polishable = true;
+          break;
+        }
+        case Algorithm::kIoHybrid: {
+          encoding::HybridOptions ho;
+          ho.nbits = opts.nbits;
+          ho.max_work = opts.max_work;
+          auto ir = encoding::iohybrid_code(sm->ic, sm->clusters, n, ho);
+          res.enc = std::move(ir.enc);
+          break;
+        }
+        case Algorithm::kIoVariant: {
+          std::vector<InputConstraint> oo;
+          for (const auto& s : sm->output_only_ic) oo.push_back({s, 1});
+          encoding::HybridOptions ho;
+          ho.nbits = opts.nbits;
+          ho.max_work = opts.max_work;
+          auto ir = encoding::iovariant_code(oo, sm->clusters,
+                                             sm->cluster_ic, n, ho);
+          res.enc = std::move(ir.enc);
+          break;
+        }
+        case Algorithm::kKiss: {
+          encoding::HybridOptions ho;
+          ho.max_work = opts.max_work;
+          auto kr = encoding::kiss_code(ics, n, ho);
+          res.enc = std::move(kr.enc);
+          break;
+        }
+        case Algorithm::kMustangFanout:
+        case Algorithm::kMustangFanin: {
+          auto variant = opts.algorithm == Algorithm::kMustangFanout
+                             ? encoding::MustangVariant::kFanout
+                             : encoding::MustangVariant::kFanin;
+          res.enc = encoding::mustang_code(fsm, opts.nbits, variant, rng);
+          break;
+        }
+        case Algorithm::kRandom: {
+          int k = std::max(opts.nbits, encoding::min_code_length(n));
+          res.enc = encoding::random_encoding(n, k, rng);
+          break;
+        }
+      }
     }
-    case Algorithm::kIGreedy: {
-      auto gr = encoding::igreedy_code(ics, n, opts.nbits);
-      res.enc = std::move(gr.enc);
-      if (opts.polish) encoding::polish_encoding(res.enc, ics);
-      break;
-    }
-    case Algorithm::kIoHybrid: {
-      auto sm = constraints::symbolic_minimize(fsm, opts.espresso);
-      ics = sm.ic;
-      encoding::HybridOptions ho;
-      ho.nbits = opts.nbits;
-      ho.max_work = opts.max_work;
-      auto ir = encoding::iohybrid_code(sm.ic, sm.clusters, n, ho);
-      res.enc = std::move(ir.enc);
-      break;
-    }
-    case Algorithm::kIoVariant: {
-      auto sm = constraints::symbolic_minimize(fsm, opts.espresso);
-      ics = sm.ic;
-      std::vector<InputConstraint> oo;
-      for (const auto& s : sm.output_only_ic) oo.push_back({s, 1});
-      encoding::HybridOptions ho;
-      ho.nbits = opts.nbits;
-      ho.max_work = opts.max_work;
-      auto ir = encoding::iovariant_code(oo, sm.clusters, sm.cluster_ic, n,
-                                         ho);
-      res.enc = std::move(ir.enc);
-      break;
-    }
-    case Algorithm::kKiss: {
-      encoding::HybridOptions ho;
-      ho.max_work = opts.max_work;
-      auto kr = encoding::kiss_code(ics, n, ho);
-      res.enc = std::move(kr.enc);
-      break;
-    }
-    case Algorithm::kMustangFanout:
-    case Algorithm::kMustangFanin: {
-      auto variant = opts.algorithm == Algorithm::kMustangFanout
-                         ? encoding::MustangVariant::kFanout
-                         : encoding::MustangVariant::kFanin;
-      res.enc = encoding::mustang_code(fsm, opts.nbits, variant, rng);
-      break;
-    }
-    case Algorithm::kRandom: {
-      int k = std::max(opts.nbits, encoding::min_code_length(n));
-      res.enc = encoding::random_encoding(n, k, rng);
-      break;
+    if (res.success) {
+      // --- polish: satisfaction-directed local improvement --------------
+      if (opts.polish && polishable) {
+        obs::Span span("nova.polish", &res.phases.polish);
+        encoding::polish_encoding(res.enc, ics);
+      }
+
+      auto sat = encoding::summarize_satisfaction(res.enc, ics);
+      res.constraints_total = sat.satisfied + sat.unsatisfied;
+      res.constraints_satisfied = sat.satisfied;
+      res.weight_satisfied = sat.weight_satisfied;
+      res.weight_unsatisfied = sat.weight_unsatisfied;
+
+      // --- final: encoded-PLA construction + espresso -------------------
+      obs::Span span("nova.final", &res.phases.final_espresso);
+      EvalResult ev = evaluate_encoding(fsm, res.enc, opts.espresso);
+      res.metrics = ev.metrics;
     }
   }
-
-  auto sat = encoding::summarize_satisfaction(res.enc, ics);
-  res.constraints_total = sat.satisfied + sat.unsatisfied;
-  res.constraints_satisfied = sat.satisfied;
-  res.weight_satisfied = sat.weight_satisfied;
-  res.weight_unsatisfied = sat.weight_unsatisfied;
-
-  EvalResult ev = evaluate_encoding(fsm, res.enc, opts.espresso);
-  res.metrics = ev.metrics;
-  res.seconds = std::chrono::duration<double>(
-                    std::chrono::steady_clock::now() - t0)
-                    .count();
+  res.seconds = res.phases.total;
   return res;
+}
+
+std::string dump_report(const NovaResult& res, int indent) {
+  using obs::Json;
+  Json j = Json::object();
+  j.set("success", res.success);
+  Json metrics = Json::object();
+  metrics.set("nbits", res.metrics.nbits);
+  metrics.set("cubes", res.metrics.cubes);
+  metrics.set("area", res.metrics.area);
+  metrics.set("sop_literals", res.metrics.sop_literals);
+  j.set("metrics", std::move(metrics));
+  Json sat = Json::object();
+  sat.set("constraints_total", res.constraints_total);
+  sat.set("constraints_satisfied", res.constraints_satisfied);
+  sat.set("weight_satisfied", res.weight_satisfied);
+  sat.set("weight_unsatisfied", res.weight_unsatisfied);
+  sat.set("clength_all", res.clength_all);
+  j.set("satisfaction", std::move(sat));
+  Json phases = Json::object();
+  phases.set("extract", res.phases.extract);
+  phases.set("embed", res.phases.embed);
+  phases.set("polish", res.phases.polish);
+  phases.set("final", res.phases.final_espresso);
+  phases.set("total", res.phases.total);
+  j.set("phases", std::move(phases));
+  j.set("trace", res.report ? res.report->to_json() : Json());
+  return j.dump(indent);
 }
 
 }  // namespace nova::driver

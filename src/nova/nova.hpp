@@ -4,6 +4,7 @@
 //   area = (2*(#inputs + #bits) + #bits + #outputs) * #cubes.
 #pragma once
 
+#include <memory>
 #include <string>
 
 #include "encoding/baselines.hpp"
@@ -11,6 +12,7 @@
 #include "encoding/io.hpp"
 #include "fsm/fsm.hpp"
 #include "logic/espresso.hpp"
+#include "obs/obs.hpp"
 
 namespace nova::driver {
 
@@ -68,7 +70,20 @@ struct NovaOptions {
   uint64_t seed = 1;
   /// Apply the satisfaction-directed polish pass after ihybrid/igreedy.
   bool polish = false;
+  /// Collect a full obs::Report (spans + counters) for this run; defaults
+  /// to the NOVA_TRACE environment variable. Per-phase seconds in
+  /// NovaResult::phases are reported regardless of this flag.
+  bool trace = obs::env_trace_enabled();
   logic::EspressoOptions espresso;
+};
+
+/// Wall-clock seconds per pipeline phase (always populated, trace or not).
+struct PhaseSeconds {
+  double extract = 0.0;  ///< constraint extraction incl. MV minimization
+  double embed = 0.0;    ///< the encoding algorithm (embedding/backtracking)
+  double polish = 0.0;   ///< satisfaction-directed polish pass
+  double final_espresso = 0.0;  ///< encoded-PLA build + final minimization
+  double total = 0.0;           ///< whole encode_fsm call
 };
 
 struct NovaResult {
@@ -80,11 +95,19 @@ struct NovaResult {
   int weight_satisfied = 0;
   int weight_unsatisfied = 0;
   int clength_all = -1;      ///< ihybrid: length at which all ICs satisfied
-  double seconds = 0.0;
+  PhaseSeconds phases;
+  double seconds = 0.0;      ///< == phases.total (kept for compatibility)
+  /// Span/counter registry of the run; non-null iff NovaOptions::trace.
+  std::shared_ptr<obs::Report> report;
 };
 
 /// One-stop encoding + evaluation with the selected algorithm.
 NovaResult encode_fsm(const fsm::Fsm& fsm, const NovaOptions& opts = {});
+
+/// Serializes a NovaResult to JSON: success flag, PLA metrics, constraint
+/// satisfaction, per-phase seconds, and (when traced) the full span tree
+/// and counters under "trace". indent < 0 gives compact output.
+std::string dump_report(const NovaResult& res, int indent = 2);
 
 /// The 1-hot baseline: cube count of the minimized 1-hot PLA (equal to the
 /// minimized multiple-valued cover cardinality) and the resulting area.

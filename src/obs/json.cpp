@@ -1,0 +1,318 @@
+#include "obs/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+
+namespace nova::obs {
+
+const Json* Json::find(const std::string& key) const {
+  if (!is_object()) return nullptr;
+  for (const auto& [k, v] : as_object()) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+void Json::set(const std::string& key, Json value) {
+  for (auto& [k, v] : as_object()) {
+    if (k == key) {
+      v = std::move(value);
+      return;
+    }
+  }
+  as_object().emplace_back(key, std::move(value));
+}
+
+namespace {
+
+void dump_string(const std::string& s, std::string& out) {
+  out += '"';
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+  out += '"';
+}
+
+void dump_number(double d, std::string& out) {
+  if (!std::isfinite(d)) {
+    out += "null";  // JSON has no inf/nan
+    return;
+  }
+  if (d == std::floor(d) && std::fabs(d) < 1e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%lld", static_cast<long long>(d));
+    out += buf;
+  } else {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.9g", d);
+    out += buf;
+  }
+}
+
+void indent_to(std::string& out, int indent, int depth) {
+  if (indent < 0) return;
+  out += '\n';
+  out.append(static_cast<size_t>(indent) * depth, ' ');
+}
+
+}  // namespace
+
+std::string Json::dump(int indent) const {
+  struct Impl {
+    int indent;
+    std::string out;
+    void rec(const Json& j, int depth) {
+      if (j.is_null()) {
+        out += "null";
+      } else if (j.is_bool()) {
+        out += j.as_bool() ? "true" : "false";
+      } else if (j.is_number()) {
+        dump_number(j.as_number(), out);
+      } else if (j.is_string()) {
+        dump_string(j.as_string(), out);
+      } else if (j.is_array()) {
+        const auto& a = j.as_array();
+        if (a.empty()) {
+          out += "[]";
+          return;
+        }
+        out += '[';
+        for (size_t i = 0; i < a.size(); ++i) {
+          if (i) out += ',';
+          indent_to(out, indent, depth + 1);
+          rec(a[i], depth + 1);
+        }
+        indent_to(out, indent, depth);
+        out += ']';
+      } else {
+        const auto& o = j.as_object();
+        if (o.empty()) {
+          out += "{}";
+          return;
+        }
+        out += '{';
+        for (size_t i = 0; i < o.size(); ++i) {
+          if (i) out += ',';
+          indent_to(out, indent, depth + 1);
+          dump_string(o[i].first, out);
+          out += indent < 0 ? ":" : ": ";
+          rec(o[i].second, depth + 1);
+        }
+        indent_to(out, indent, depth);
+        out += '}';
+      }
+    }
+  };
+  Impl impl{indent, {}};
+  impl.rec(*this, 0);
+  return impl.out;
+}
+
+namespace {
+
+class Parser {
+ public:
+  Parser(const std::string& text, std::string* err)
+      : s_(text), err_(err) {}
+
+  std::optional<Json> run() {
+    skip_ws();
+    auto v = value();
+    if (!v) return std::nullopt;
+    skip_ws();
+    if (pos_ != s_.size()) return fail("trailing characters");
+    return v;
+  }
+
+ private:
+  std::optional<Json> fail(const char* msg) {
+    if (err_) *err_ = std::string(msg) + " at offset " + std::to_string(pos_);
+    return std::nullopt;
+  }
+
+  void skip_ws() {
+    while (pos_ < s_.size() && (s_[pos_] == ' ' || s_[pos_] == '\t' ||
+                                s_[pos_] == '\n' || s_[pos_] == '\r'))
+      ++pos_;
+  }
+
+  bool consume(char c) {
+    if (pos_ < s_.size() && s_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool literal(const char* lit) {
+    size_t n = std::strlen(lit);
+    if (s_.compare(pos_, n, lit) == 0) {
+      pos_ += n;
+      return true;
+    }
+    return false;
+  }
+
+  std::optional<Json> value() {
+    if (pos_ >= s_.size()) return fail("unexpected end of input");
+    char c = s_[pos_];
+    if (c == '{') return object();
+    if (c == '[') return array();
+    if (c == '"') {
+      auto s = string();
+      if (!s) return std::nullopt;
+      return Json(std::move(*s));
+    }
+    if (literal("true")) return Json(true);
+    if (literal("false")) return Json(false);
+    if (literal("null")) return Json(nullptr);
+    return number();
+  }
+
+  std::optional<Json> number() {
+    size_t start = pos_;
+    if (consume('-')) {
+    }
+    while (pos_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[pos_])) ||
+            s_[pos_] == '.' || s_[pos_] == 'e' || s_[pos_] == 'E' ||
+            s_[pos_] == '+' || s_[pos_] == '-'))
+      ++pos_;
+    if (pos_ == start) return fail("invalid value");
+    char* end = nullptr;
+    std::string tok = s_.substr(start, pos_ - start);
+    double d = std::strtod(tok.c_str(), &end);
+    if (!end || *end != '\0') return fail("invalid number");
+    return Json(d);
+  }
+
+  std::optional<std::string> string() {
+    if (!consume('"')) {
+      fail("expected string");
+      return std::nullopt;
+    }
+    std::string out;
+    while (pos_ < s_.size()) {
+      char c = s_[pos_++];
+      if (c == '"') return out;
+      if (c == '\\') {
+        if (pos_ >= s_.size()) break;
+        char e = s_[pos_++];
+        switch (e) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'n': out += '\n'; break;
+          case 'r': out += '\r'; break;
+          case 't': out += '\t'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'u': {
+            if (pos_ + 4 > s_.size()) {
+              fail("bad \\u escape");
+              return std::nullopt;
+            }
+            int code = 0;
+            for (int i = 0; i < 4; ++i) {
+              char h = s_[pos_++];
+              code <<= 4;
+              if (h >= '0' && h <= '9')
+                code |= h - '0';
+              else if (h >= 'a' && h <= 'f')
+                code |= h - 'a' + 10;
+              else if (h >= 'A' && h <= 'F')
+                code |= h - 'A' + 10;
+              else {
+                fail("bad \\u escape");
+                return std::nullopt;
+              }
+            }
+            // Reports only emit control-character escapes; encode as UTF-8.
+            if (code < 0x80) {
+              out += static_cast<char>(code);
+            } else if (code < 0x800) {
+              out += static_cast<char>(0xC0 | (code >> 6));
+              out += static_cast<char>(0x80 | (code & 0x3F));
+            } else {
+              out += static_cast<char>(0xE0 | (code >> 12));
+              out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+              out += static_cast<char>(0x80 | (code & 0x3F));
+            }
+            break;
+          }
+          default:
+            fail("bad escape");
+            return std::nullopt;
+        }
+      } else {
+        out += c;
+      }
+    }
+    fail("unterminated string");
+    return std::nullopt;
+  }
+
+  std::optional<Json> array() {
+    consume('[');
+    Json::Array out;
+    skip_ws();
+    if (consume(']')) return Json(std::move(out));
+    while (true) {
+      skip_ws();
+      auto v = value();
+      if (!v) return std::nullopt;
+      out.push_back(std::move(*v));
+      skip_ws();
+      if (consume(']')) return Json(std::move(out));
+      if (!consume(',')) return fail("expected ',' or ']'");
+    }
+  }
+
+  std::optional<Json> object() {
+    consume('{');
+    Json::Object out;
+    skip_ws();
+    if (consume('}')) return Json(std::move(out));
+    while (true) {
+      skip_ws();
+      auto k = string();
+      if (!k) return std::nullopt;
+      skip_ws();
+      if (!consume(':')) return fail("expected ':'");
+      skip_ws();
+      auto v = value();
+      if (!v) return std::nullopt;
+      out.emplace_back(std::move(*k), std::move(*v));
+      skip_ws();
+      if (consume('}')) return Json(std::move(out));
+      if (!consume(',')) return fail("expected ',' or '}'");
+    }
+  }
+
+  const std::string& s_;
+  std::string* err_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::optional<Json> Json::parse(const std::string& text, std::string* err) {
+  return Parser(text, err).run();
+}
+
+}  // namespace nova::obs

@@ -1,0 +1,73 @@
+// Minimal JSON document model used by the observability layer: enough to
+// serialize run reports and to parse them back for validation/round-trip
+// tests. Numbers are stored as double (counter values fit exactly up to
+// 2^53, far beyond any realistic run).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <utility>
+#include <variant>
+#include <vector>
+
+namespace nova::obs {
+
+class Json {
+ public:
+  using Array = std::vector<Json>;
+  // Insertion-ordered object (reports are small; linear lookup is fine).
+  using Object = std::vector<std::pair<std::string, Json>>;
+
+  Json() : v_(nullptr) {}
+  Json(std::nullptr_t) : v_(nullptr) {}
+  Json(bool b) : v_(b) {}
+  Json(double d) : v_(d) {}
+  Json(int i) : v_(static_cast<double>(i)) {}
+  Json(long l) : v_(static_cast<double>(l)) {}
+  Json(long long l) : v_(static_cast<double>(l)) {}
+  Json(const char* s) : v_(std::string(s)) {}
+  Json(std::string s) : v_(std::move(s)) {}
+  Json(Array a) : v_(std::move(a)) {}
+  Json(Object o) : v_(std::move(o)) {}
+
+  static Json array() { return Json(Array{}); }
+  static Json object() { return Json(Object{}); }
+
+  bool is_null() const { return std::holds_alternative<std::nullptr_t>(v_); }
+  bool is_bool() const { return std::holds_alternative<bool>(v_); }
+  bool is_number() const { return std::holds_alternative<double>(v_); }
+  bool is_string() const { return std::holds_alternative<std::string>(v_); }
+  bool is_array() const { return std::holds_alternative<Array>(v_); }
+  bool is_object() const { return std::holds_alternative<Object>(v_); }
+
+  bool as_bool() const { return std::get<bool>(v_); }
+  double as_number() const { return std::get<double>(v_); }
+  long as_long() const { return static_cast<long>(std::get<double>(v_)); }
+  const std::string& as_string() const { return std::get<std::string>(v_); }
+  const Array& as_array() const { return std::get<Array>(v_); }
+  Array& as_array() { return std::get<Array>(v_); }
+  const Object& as_object() const { return std::get<Object>(v_); }
+  Object& as_object() { return std::get<Object>(v_); }
+
+  /// Object member access; null reference semantics via a static null.
+  const Json* find(const std::string& key) const;
+  /// Sets (or replaces) an object member; the value must be an object.
+  void set(const std::string& key, Json value);
+  /// Appends to an array value.
+  void push_back(Json value) { as_array().push_back(std::move(value)); }
+
+  /// Serializes; indent < 0 gives compact one-line output.
+  std::string dump(int indent = -1) const;
+
+  /// Strict parse of a complete document. Returns nullopt on any syntax
+  /// error or trailing garbage; `err`, when given, receives a message with
+  /// a byte offset.
+  static std::optional<Json> parse(const std::string& text,
+                                   std::string* err = nullptr);
+
+ private:
+  std::variant<std::nullptr_t, bool, double, std::string, Array, Object> v_;
+};
+
+}  // namespace nova::obs

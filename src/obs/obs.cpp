@@ -1,0 +1,157 @@
+#include "obs/obs.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace nova::obs {
+
+namespace detail {
+
+thread_local Report* tl_report = nullptr;
+thread_local SpanNode* tl_current = nullptr;
+
+SpanNode* span_begin(const char* name) {
+  Report* r = tl_report;
+  SpanNode* parent = tl_current;
+  std::lock_guard<std::mutex> lock(r->mu_);
+  for (auto& child : parent->children) {
+    if (child->name == name) {
+      tl_current = child.get();
+      return child.get();
+    }
+  }
+  auto node = std::make_unique<SpanNode>();
+  node->name = name;
+  node->parent = parent;
+  SpanNode* raw = node.get();
+  parent->children.push_back(std::move(node));
+  tl_current = raw;
+  return raw;
+}
+
+void span_end(SpanNode* node, double seconds) {
+  Report* r = tl_report;
+  if (r) {
+    std::lock_guard<std::mutex> lock(r->mu_);
+    node->count += 1;
+    node->seconds += seconds;
+  }
+  tl_current = node->parent;
+}
+
+void counter_add_slow(const char* name, long delta) {
+  Report* r = tl_report;
+  std::lock_guard<std::mutex> lock(r->mu_);
+  *r->counter_slot(name) += delta;
+}
+
+void counter_peak_slow(const char* name, long value) {
+  Report* r = tl_report;
+  std::lock_guard<std::mutex> lock(r->mu_);
+  long* slot = r->counter_slot(name);
+  if (value > *slot) *slot = value;
+}
+
+}  // namespace detail
+
+Report::Report() { root_.name = "<root>"; }
+
+long* Report::counter_slot(const char* name) {
+  auto it = std::lower_bound(
+      counters_.begin(), counters_.end(), name,
+      [](const auto& e, const char* n) { return e.first < n; });
+  if (it == counters_.end() || it->first != name)
+    it = counters_.insert(it, {std::string(name), 0});
+  return &it->second;
+}
+
+long Report::counter(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = std::lower_bound(
+      counters_.begin(), counters_.end(), name,
+      [](const auto& e, const std::string& n) { return e.first < n; });
+  return it != counters_.end() && it->first == name ? it->second : 0;
+}
+
+std::vector<std::pair<std::string, long>> Report::counters() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return counters_;
+}
+
+const SpanNode* Report::find_span(const std::string& path) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const SpanNode* node = &root_;
+  size_t pos = 0;
+  while (pos <= path.size()) {
+    size_t next = path.find('/', pos);
+    std::string part = path.substr(
+        pos, next == std::string::npos ? std::string::npos : next - pos);
+    const SpanNode* found = nullptr;
+    for (const auto& c : node->children) {
+      if (c->name == part) {
+        found = c.get();
+        break;
+      }
+    }
+    if (!found) return nullptr;
+    node = found;
+    if (next == std::string::npos) break;
+    pos = next + 1;
+  }
+  return node;
+}
+
+namespace {
+
+Json span_to_json(const SpanNode& n) {
+  Json j = Json::object();
+  j.set("name", n.name);
+  j.set("count", n.count);
+  j.set("seconds", n.seconds);
+  if (!n.children.empty()) {
+    Json kids = Json::array();
+    for (const auto& c : n.children) kids.push_back(span_to_json(*c));
+    j.set("children", std::move(kids));
+  }
+  return j;
+}
+
+}  // namespace
+
+Json Report::to_json() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Json j = Json::object();
+  j.set("version", 1);
+  Json counters = Json::object();
+  for (const auto& [name, value] : counters_) counters.set(name, value);
+  j.set("counters", std::move(counters));
+  Json spans = Json::array();
+  for (const auto& c : root_.children) spans.push_back(span_to_json(*c));
+  j.set("spans", std::move(spans));
+  return j;
+}
+
+std::string Report::to_json_string(int indent) const {
+  return to_json().dump(indent);
+}
+
+TraceSession::TraceSession(Report& report)
+    : prev_report_(detail::tl_report), prev_current_(detail::tl_current) {
+  detail::tl_report = &report;
+  detail::tl_current = &report.root_;
+}
+
+TraceSession::~TraceSession() {
+  detail::tl_report = prev_report_;
+  detail::tl_current = prev_current_;
+}
+
+bool env_trace_enabled() {
+  static const bool on = [] {
+    const char* v = std::getenv("NOVA_TRACE");
+    return v != nullptr && v[0] != '\0' && !(v[0] == '0' && v[1] == '\0');
+  }();
+  return on;
+}
+
+}  // namespace nova::obs

@@ -1,0 +1,158 @@
+// Observability layer: scoped spans (RAII timers with nesting), named
+// monotonic counters, and a thread-safe Report registry that serializes a
+// whole run to JSON.
+//
+// Collection is opt-in per thread: nothing is recorded unless a
+// TraceSession has installed a Report on the current thread (the NOVA
+// driver does this when NovaOptions::trace is set, which defaults to the
+// NOVA_TRACE environment variable). When no session is active every
+// instrumentation point is a single thread-local pointer test -- no clock
+// read, no allocation, no lock. Defining NOVA_OBS_FORCE_OFF at compile
+// time turns enabled() into a constant false so the optimizer removes the
+// instrumentation entirely.
+//
+// Spans with the same name under the same parent are aggregated (call
+// count + total seconds), so the report stays bounded regardless of how
+// many times a hot path runs.
+#pragma once
+
+#include <chrono>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/json.hpp"
+
+namespace nova::obs {
+
+class Report;
+
+/// One aggregated node of the span tree: all invocations of `name` under
+/// the same parent span.
+struct SpanNode {
+  std::string name;
+  long count = 0;        ///< completed invocations
+  double seconds = 0.0;  ///< total wall-clock time across invocations
+  SpanNode* parent = nullptr;
+  std::vector<std::unique_ptr<SpanNode>> children;
+};
+
+namespace detail {
+// Active collector of the current thread (null = tracing disabled) and the
+// innermost open span node.
+extern thread_local Report* tl_report;
+extern thread_local SpanNode* tl_current;
+SpanNode* span_begin(const char* name);
+void span_end(SpanNode* node, double seconds);
+void counter_add_slow(const char* name, long delta);
+void counter_peak_slow(const char* name, long value);
+}  // namespace detail
+
+/// True when the current thread has an active trace session.
+inline bool enabled() {
+#ifdef NOVA_OBS_FORCE_OFF
+  return false;
+#else
+  return detail::tl_report != nullptr;
+#endif
+}
+
+/// Adds `delta` to the named monotonic counter of the active report.
+inline void counter_add(const char* name, long delta = 1) {
+  if (enabled()) detail::counter_add_slow(name, delta);
+}
+
+/// Records `value` into the named counter if it exceeds the current value
+/// (high-water-mark semantics, e.g. largest off-set seen).
+inline void counter_peak(const char* name, long value) {
+  if (enabled()) detail::counter_peak_slow(name, value);
+}
+
+/// RAII scoped timer. When a trace session is active the elapsed time is
+/// accumulated into the report's span tree under the innermost open span.
+/// When `out_seconds` is given the span times itself even with tracing
+/// disabled and writes the elapsed seconds on destruction -- this is how
+/// the driver reports per-phase seconds unconditionally.
+class Span {
+ public:
+  explicit Span(const char* name, double* out_seconds = nullptr)
+      : out_(out_seconds) {
+    if (enabled()) node_ = detail::span_begin(name);
+    if (node_ || out_) start_ = std::chrono::steady_clock::now();
+  }
+  ~Span() {
+    if (!node_ && !out_) return;
+    double s = std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                             start_)
+                   .count();
+    if (out_) *out_ += s;
+    if (node_) detail::span_end(node_, s);
+  }
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+  SpanNode* node_ = nullptr;
+  double* out_ = nullptr;
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Thread-safe registry of one run's spans and counters.
+class Report {
+ public:
+  Report();
+  Report(const Report&) = delete;
+  Report& operator=(const Report&) = delete;
+
+  /// Counter value (0 when never touched).
+  long counter(const std::string& name) const;
+  /// All counters, sorted by name.
+  std::vector<std::pair<std::string, long>> counters() const;
+
+  /// Looks up an aggregated span by '/'-separated path from the root, e.g.
+  /// "nova.run/nova.extract/espresso". Null when absent.
+  const SpanNode* find_span(const std::string& path) const;
+  const SpanNode& root() const { return root_; }
+
+  /// Serializes the whole report:
+  ///   {"version":1, "counters":{...},
+  ///    "spans":[{"name":..,"count":..,"seconds":..,"children":[...]}]}
+  Json to_json() const;
+  std::string to_json_string(int indent = 2) const;
+
+ private:
+  friend class TraceSession;
+  friend SpanNode* detail::span_begin(const char*);
+  friend void detail::span_end(SpanNode*, double);
+  friend void detail::counter_add_slow(const char*, long);
+  friend void detail::counter_peak_slow(const char*, long);
+
+  mutable std::mutex mu_;
+  SpanNode root_;  ///< synthetic root; its children are the top-level spans
+  // Sorted-vector map: reports hold tens of counters, not thousands.
+  std::vector<std::pair<std::string, long>> counters_;
+
+  long* counter_slot(const char* name);  // requires mu_ held
+};
+
+/// Installs `report` as the current thread's active collector for the
+/// session's lifetime; restores the previous collector on destruction
+/// (sessions nest like a stack).
+class TraceSession {
+ public:
+  explicit TraceSession(Report& report);
+  ~TraceSession();
+  TraceSession(const TraceSession&) = delete;
+  TraceSession& operator=(const TraceSession&) = delete;
+
+ private:
+  Report* prev_report_;
+  SpanNode* prev_current_;
+};
+
+/// True when the NOVA_TRACE environment variable requests tracing
+/// (set and not "0"); read once per process.
+bool env_trace_enabled();
+
+}  // namespace nova::obs

@@ -162,6 +162,74 @@ TEST(Evaluate, KissSatisfiesEverything) {
   EXPECT_EQ(r.constraints_satisfied, r.constraints_total);
 }
 
+TEST(Trace, TracedRunReportsSpansAndCounters) {
+  auto f = load_benchmark("train11");
+  NovaOptions opts;
+  opts.algorithm = Algorithm::kIHybrid;
+  opts.trace = true;
+  NovaResult r = encode_fsm(f, opts);
+  ASSERT_TRUE(r.success);
+  ASSERT_NE(r.report, nullptr);
+
+  // The hot layers left their marks.
+  EXPECT_GT(r.report->counter("espresso.calls"), 0);
+  EXPECT_GT(r.report->counter("espresso.iterations"), 0);
+  EXPECT_GT(r.report->counter("espresso.expand_calls"), 0);
+  EXPECT_GT(r.report->counter("logic.complement_calls"), 0);
+  EXPECT_GT(r.report->counter("embed.work"), 0);
+  EXPECT_GT(r.report->counter("embed.nodes_visited"), 0);
+  EXPECT_GT(r.report->counter("embed.backtracks"), 0);
+  EXPECT_GT(r.report->counter("constraints.normalized"), 0);
+
+  // Pipeline phases appear as nested spans under nova.run.
+  ASSERT_NE(r.report->find_span("nova.run"), nullptr);
+  EXPECT_NE(r.report->find_span("nova.run/nova.extract"), nullptr);
+  EXPECT_NE(
+      r.report->find_span("nova.run/nova.extract/constraints.extract"),
+      nullptr);
+  EXPECT_NE(r.report->find_span(
+                "nova.run/nova.extract/constraints.extract/"
+                "constraints.minimize"),
+            nullptr);
+  EXPECT_NE(r.report->find_span("nova.run/nova.embed"), nullptr);
+  EXPECT_NE(r.report->find_span("nova.run/nova.final"), nullptr);
+
+  // Per-phase seconds are populated and consistent with the lump total.
+  EXPECT_GT(r.phases.total, 0.0);
+  EXPECT_GT(r.phases.extract, 0.0);
+  EXPECT_GT(r.phases.final_espresso, 0.0);
+  EXPECT_LE(r.phases.extract + r.phases.embed + r.phases.polish +
+                r.phases.final_espresso,
+            r.phases.total);
+  EXPECT_DOUBLE_EQ(r.seconds, r.phases.total);
+
+  // dump_report emits parseable JSON with the trace attached.
+  std::string err;
+  auto j = nova::obs::Json::parse(dump_report(r), &err);
+  ASSERT_TRUE(j.has_value()) << err;
+  const auto* trace = j->find("trace");
+  ASSERT_NE(trace, nullptr);
+  EXPECT_NE(trace->find("counters"), nullptr);
+  EXPECT_NE(trace->find("spans"), nullptr);
+  EXPECT_EQ(j->find("metrics")->find("cubes")->as_long(), r.metrics.cubes);
+}
+
+TEST(Trace, UntracedRunStillReportsPhaseSeconds) {
+  auto f = load_benchmark("lion");
+  NovaOptions opts;
+  opts.trace = false;
+  NovaResult r = encode_fsm(f, opts);
+  ASSERT_TRUE(r.success);
+  EXPECT_EQ(r.report, nullptr);
+  EXPECT_GT(r.phases.total, 0.0);
+  EXPECT_GT(r.phases.final_espresso, 0.0);
+  EXPECT_DOUBLE_EQ(r.seconds, r.phases.total);
+  // dump_report degrades gracefully: trace is null, document still valid.
+  auto j = nova::obs::Json::parse(dump_report(r));
+  ASSERT_TRUE(j.has_value());
+  EXPECT_TRUE(j->find("trace")->is_null());
+}
+
 TEST(BenchData, Table1Shape) {
   const auto& t = nova::bench_data::table1_benchmarks();
   EXPECT_EQ(t.size(), 30u);

@@ -1,0 +1,228 @@
+// Observability layer: span nesting/aggregation, counter semantics, the
+// JSON writer/parser round-trip, trace-session stacking, and the
+// disabled-mode zero-allocation fast path.
+#include "obs/obs.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
+#include "obs/json.hpp"
+
+// Global allocation counter: every operator new in this binary bumps it,
+// letting the disabled-path test assert that instrumentation points do not
+// allocate when no trace session is active.
+namespace {
+std::atomic<long> g_allocs{0};
+}
+
+void* operator new(std::size_t n) {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(n ? n : 1)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t n) {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(n ? n : 1)) return p;
+  throw std::bad_alloc();
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace {
+
+using nova::obs::Json;
+using nova::obs::Report;
+using nova::obs::Span;
+using nova::obs::SpanNode;
+using nova::obs::TraceSession;
+
+void spin_briefly() {
+  volatile long x = 0;
+  for (int i = 0; i < 20000; ++i) x = x + i;
+}
+
+TEST(Span, NestingAggregatesByNameUnderParent) {
+  Report r;
+  {
+    TraceSession session(r);
+    for (int i = 0; i < 3; ++i) {
+      Span outer("outer");
+      spin_briefly();
+      {
+        Span inner("inner");
+        spin_briefly();
+      }
+      {
+        Span inner("inner");
+      }
+    }
+  }
+  const SpanNode* outer = r.find_span("outer");
+  ASSERT_NE(outer, nullptr);
+  EXPECT_EQ(outer->count, 3);
+  EXPECT_GT(outer->seconds, 0.0);
+  const SpanNode* inner = r.find_span("outer/inner");
+  ASSERT_NE(inner, nullptr);
+  EXPECT_EQ(inner->count, 6);
+  // "inner" only ever ran nested under "outer".
+  EXPECT_EQ(r.find_span("inner"), nullptr);
+  // A parent's aggregate time includes its children's.
+  EXPECT_GE(outer->seconds, inner->seconds);
+}
+
+TEST(Span, RecursiveSameNameBuildsAChain) {
+  Report r;
+  {
+    TraceSession session(r);
+    Span a("f");
+    Span b("f");
+    Span c("f");
+  }
+  EXPECT_NE(r.find_span("f/f/f"), nullptr);
+  EXPECT_EQ(r.find_span("f/f/f/f"), nullptr);
+}
+
+TEST(Span, OutSecondsMeasuredEvenWhenDisabled) {
+  ASSERT_FALSE(nova::obs::enabled());
+  double secs = 0.0;
+  {
+    Span span("untracked", &secs);
+    spin_briefly();
+  }
+  EXPECT_GT(secs, 0.0);
+  // Accumulates across uses of the same slot.
+  double first = secs;
+  {
+    Span span("untracked", &secs);
+    spin_briefly();
+  }
+  EXPECT_GT(secs, first);
+}
+
+TEST(Counter, AddAndPeakSemantics) {
+  Report r;
+  {
+    TraceSession session(r);
+    nova::obs::counter_add("adds", 2);
+    nova::obs::counter_add("adds", 3);
+    nova::obs::counter_add("adds");  // default +1
+    nova::obs::counter_peak("peak", 10);
+    nova::obs::counter_peak("peak", 4);
+    nova::obs::counter_peak("peak", 12);
+  }
+  EXPECT_EQ(r.counter("adds"), 6);
+  EXPECT_EQ(r.counter("peak"), 12);
+  EXPECT_EQ(r.counter("never_touched"), 0);
+  auto all = r.counters();
+  ASSERT_EQ(all.size(), 2u);
+  EXPECT_EQ(all[0].first, "adds");
+  EXPECT_EQ(all[1].first, "peak");
+}
+
+TEST(Session, StacksAndRestores) {
+  Report outer, inner;
+  EXPECT_FALSE(nova::obs::enabled());
+  {
+    TraceSession s1(outer);
+    EXPECT_TRUE(nova::obs::enabled());
+    nova::obs::counter_add("c", 1);
+    {
+      TraceSession s2(inner);
+      nova::obs::counter_add("c", 10);
+    }
+    nova::obs::counter_add("c", 2);
+  }
+  EXPECT_FALSE(nova::obs::enabled());
+  EXPECT_EQ(outer.counter("c"), 3);
+  EXPECT_EQ(inner.counter("c"), 10);
+}
+
+TEST(Disabled, InstrumentationDoesNotAllocate) {
+  ASSERT_FALSE(nova::obs::enabled());
+  long before = g_allocs.load(std::memory_order_relaxed);
+  for (int i = 0; i < 1000; ++i) {
+    Span span("hot.path");
+    nova::obs::counter_add("hot.counter", i);
+    nova::obs::counter_peak("hot.peak", i);
+  }
+  long after = g_allocs.load(std::memory_order_relaxed);
+  EXPECT_EQ(before, after);
+}
+
+TEST(Report, JsonRoundTrip) {
+  Report r;
+  {
+    TraceSession session(r);
+    Span top("phase.a");
+    {
+      Span child("phase.b");
+      nova::obs::counter_add("cubes", 42);
+    }
+    nova::obs::counter_add("calls", 7);
+  }
+  std::string text = r.to_json_string();
+  std::string err;
+  auto parsed = Json::parse(text, &err);
+  ASSERT_TRUE(parsed.has_value()) << err;
+  EXPECT_EQ(parsed->find("version")->as_long(), 1);
+  const Json* counters = parsed->find("counters");
+  ASSERT_NE(counters, nullptr);
+  EXPECT_EQ(counters->find("cubes")->as_long(), 42);
+  EXPECT_EQ(counters->find("calls")->as_long(), 7);
+  const Json* spans = parsed->find("spans");
+  ASSERT_NE(spans, nullptr);
+  ASSERT_EQ(spans->as_array().size(), 1u);
+  const Json& a = spans->as_array()[0];
+  EXPECT_EQ(a.find("name")->as_string(), "phase.a");
+  EXPECT_EQ(a.find("count")->as_long(), 1);
+  EXPECT_GE(a.find("seconds")->as_number(), 0.0);
+  const Json& b = a.find("children")->as_array()[0];
+  EXPECT_EQ(b.find("name")->as_string(), "phase.b");
+  // Compact and indented dumps parse to the same document.
+  auto reparsed = Json::parse(parsed->dump(-1));
+  ASSERT_TRUE(reparsed.has_value());
+  EXPECT_EQ(reparsed->dump(2), parsed->dump(2));
+}
+
+TEST(JsonParse, ValuesAndEscapes) {
+  auto j = Json::parse(
+      R"({"s":"a\"b\n\t\\","n":-1.5e2,"i":7,"b":true,"z":null,)"
+      R"("arr":[1,[2,{}],"x"],"u":"Aé"})");
+  ASSERT_TRUE(j.has_value());
+  EXPECT_EQ(j->find("s")->as_string(), "a\"b\n\t\\");
+  EXPECT_DOUBLE_EQ(j->find("n")->as_number(), -150.0);
+  EXPECT_EQ(j->find("i")->as_long(), 7);
+  EXPECT_TRUE(j->find("b")->as_bool());
+  EXPECT_TRUE(j->find("z")->is_null());
+  EXPECT_EQ(j->find("arr")->as_array().size(), 3u);
+  EXPECT_EQ(j->find("u")->as_string(), "A\xc3\xa9");
+}
+
+TEST(JsonParse, RejectsMalformedDocuments) {
+  std::string err;
+  EXPECT_FALSE(Json::parse("{", &err).has_value());
+  EXPECT_FALSE(Json::parse("[1,]").has_value());
+  EXPECT_FALSE(Json::parse("{\"a\":1} trailing").has_value());
+  EXPECT_FALSE(Json::parse("{\"a\" 1}").has_value());
+  EXPECT_FALSE(Json::parse("\"unterminated").has_value());
+  EXPECT_FALSE(Json::parse("nul").has_value());
+  EXPECT_FALSE(Json::parse("").has_value());
+}
+
+TEST(JsonDump, EscapesControlCharacters) {
+  Json j = Json::object();
+  j.set("k", std::string("line1\nline2\x01"));
+  std::string text = j.dump();
+  EXPECT_NE(text.find("\\n"), std::string::npos);
+  EXPECT_NE(text.find("\\u0001"), std::string::npos);
+  auto back = Json::parse(text);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->find("k")->as_string(), "line1\nline2\x01");
+}
+
+}  // namespace
