@@ -131,7 +131,18 @@ Fsm generate_structured_fsm(const std::string& name, int inputs, int outputs,
     std::vector<int> idx(grid);
     for (int i = 0; i < grid; ++i) idx[i] = i;
     rng.shuffle(idx);
-    for (int i = 0; i < grid - terms; ++i) keep[idx[i]] = 0;
+    // Never drop a state's last remaining row: a state with no rows at all
+    // would vanish from the written KISS2 table, so the emitted .s count
+    // could not round-trip through the parser.
+    std::vector<int> left(states, npat);
+    int dropped = 0;
+    for (int i = 0; i < grid && dropped < grid - terms; ++i) {
+      const int s = idx[i] / npat;
+      if (left[s] <= 1) continue;
+      keep[idx[i]] = 0;
+      --left[s];
+      ++dropped;
+    }
   }
 
   for (int s = 0; s < states; ++s) {

@@ -1,0 +1,205 @@
+#include "check/check.hpp"
+
+#include <set>
+#include <string>
+
+#include "obs/obs.hpp"
+
+namespace nova::check {
+
+namespace {
+
+// Validator-internal contract: always live when the validator is called
+// (the caller already decided to validate), still counted and reported
+// through the common fail() path.
+#define NOVA_VALIDATE(expr, msg)                           \
+  do {                                                     \
+    if (!(expr)) fail(#expr, (msg), __FILE__, __LINE__);   \
+  } while (0)
+
+std::string at(const char* ctx, const std::string& what) {
+  return std::string(ctx) + ": " + what;
+}
+
+bool pattern_ok(const std::string& p, int width) {
+  if (static_cast<int>(p.size()) != width) return false;
+  for (char c : p) {
+    if (c != '0' && c != '1' && c != '-') return false;
+  }
+  return true;
+}
+
+/// Brute-force face-satisfaction oracle: the minimal face spanned by the
+/// member codes, with its vertices enumerated one by one. Independent of
+/// the Face/supercube_face machinery on purpose.
+bool oracle_constraint_satisfied(const encoding::Encoding& enc,
+                                 const util::BitVec& states) {
+  uint64_t ands = ~uint64_t{0}, ors = 0;
+  bool any = false;
+  for (int s = states.first(); s >= 0; s = states.next(s + 1)) {
+    ands &= enc.codes[s];
+    ors |= enc.codes[s];
+    any = true;
+  }
+  if (!any) return true;
+  const uint64_t kmask =
+      enc.nbits >= 64 ? ~uint64_t{0} : ((uint64_t{1} << enc.nbits) - 1);
+  const uint64_t varying = (ands ^ ors) & kmask;
+  // Enumerate every vertex of the face: fixed bits from `ands`, all value
+  // combinations of the varying bits.
+  std::vector<int> vbits;
+  for (int b = 0; b < enc.nbits; ++b) {
+    if ((varying >> b) & 1) vbits.push_back(b);
+  }
+  for (uint64_t v = 0; v < (uint64_t{1} << vbits.size()); ++v) {
+    uint64_t vertex = ands & kmask & ~varying;
+    for (size_t i = 0; i < vbits.size(); ++i) {
+      if ((v >> i) & 1) vertex |= uint64_t{1} << vbits[i];
+    }
+    for (int s = 0; s < enc.num_states(); ++s) {
+      if (enc.codes[s] == vertex && !states.get(s)) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+void check_cover(const logic::Cover& F, const char* ctx) {
+  obs::Span span("check.cover");
+  const logic::CubeSpec& spec = F.spec();
+  for (int v = 0; v < spec.num_vars(); ++v) {
+    NOVA_VALIDATE(spec.size(v) >= 1, at(ctx, "variable with size < 1"));
+  }
+  for (int i = 0; i < F.size(); ++i) {
+    NOVA_VALIDATE(F[i].raw().size() == spec.total_bits(),
+                  at(ctx, "cube " + std::to_string(i) +
+                              " width mismatch: " +
+                              std::to_string(F[i].raw().size()) + " bits vs " +
+                              std::to_string(spec.total_bits()) + " in spec"));
+    for (int v = 0; v < spec.num_vars(); ++v) {
+      NOVA_VALIDATE(!F[i].part_empty(spec, v),
+                    at(ctx, "cube " + std::to_string(i) +
+                                " has an empty part for variable " +
+                                std::to_string(v)));
+    }
+  }
+}
+
+void check_fsm(const fsm::Fsm& fsm, const char* ctx) {
+  obs::Span span("check.fsm");
+  const int n = fsm.num_states();
+  NOVA_VALIDATE(fsm.num_inputs() >= 0 && fsm.num_outputs() >= 0,
+                at(ctx, "negative input/output count"));
+  if (n > 0) {
+    NOVA_VALIDATE(fsm.reset_state() >= 0 && fsm.reset_state() < n,
+                  at(ctx, "reset state index " +
+                              std::to_string(fsm.reset_state()) +
+                              " out of range [0, " + std::to_string(n) + ")"));
+  }
+  std::set<std::string> names;
+  for (const auto& name : fsm.state_names()) {
+    NOVA_VALIDATE(!name.empty(), at(ctx, "empty state name"));
+    NOVA_VALIDATE(names.insert(name).second,
+                  at(ctx, "duplicate state name '" + name + "'"));
+  }
+  for (size_t i = 0; i < fsm.transitions().size(); ++i) {
+    const auto& t = fsm.transitions()[i];
+    const std::string row = "transition " + std::to_string(i);
+    NOVA_VALIDATE(pattern_ok(t.input, fsm.num_inputs()),
+                  at(ctx, row + " has a bad input pattern '" + t.input + "'"));
+    NOVA_VALIDATE(
+        pattern_ok(t.output, fsm.num_outputs()),
+        at(ctx, row + " has a bad output pattern '" + t.output + "'"));
+    NOVA_VALIDATE(t.present >= -1 && t.present < n,
+                  at(ctx, row + " present-state index out of range"));
+    NOVA_VALIDATE(t.next >= -1 && t.next < n,
+                  at(ctx, row + " next-state index out of range"));
+  }
+}
+
+void check_encoding(const encoding::Encoding& enc, int num_states,
+                    const std::vector<constraints::InputConstraint>& ics,
+                    const char* ctx) {
+  check_encoding(enc, num_states, ics, {}, ctx);
+}
+
+void check_encoding(const encoding::Encoding& enc, int num_states,
+                    const std::vector<constraints::InputConstraint>& ics,
+                    const std::vector<constraints::OutputConstraint>& ocs,
+                    const char* ctx) {
+  obs::Span span("check.encoding");
+  NOVA_VALIDATE(enc.nbits >= 1 && enc.nbits <= 63,
+                at(ctx, "code length " + std::to_string(enc.nbits) +
+                            " outside [1, 63]"));
+  NOVA_VALIDATE(enc.num_states() == num_states,
+                at(ctx, std::to_string(enc.codes.size()) + " codes for " +
+                            std::to_string(num_states) + " states"));
+  const uint64_t kmask = (uint64_t{1} << enc.nbits) - 1;
+  for (int s = 0; s < enc.num_states(); ++s) {
+    NOVA_VALIDATE((enc.codes[s] & ~kmask) == 0,
+                  at(ctx, "code of state " + std::to_string(s) +
+                              " does not fit in " + std::to_string(enc.nbits) +
+                              " bits"));
+  }
+  NOVA_VALIDATE(enc.injective(), at(ctx, "duplicate state codes"));
+  for (size_t i = 0; i < ics.size(); ++i) {
+    const auto& ic = ics[i];
+    NOVA_VALIDATE(ic.states.size() == num_states,
+                  at(ctx, "input constraint " + std::to_string(i) +
+                              " has width " + std::to_string(ic.states.size()) +
+                              ", expected " + std::to_string(num_states)));
+    if (enc.nbits <= 16) {
+      // Cross-check the library predicate against the brute-force oracle.
+      const bool lib = encoding::constraint_satisfied(enc, ic);
+      const bool oracle = oracle_constraint_satisfied(enc, ic.states);
+      NOVA_VALIDATE(lib == oracle,
+                    at(ctx, "constraint_satisfied disagrees with the "
+                            "brute-force face oracle on constraint " +
+                                std::to_string(i) + " {" +
+                                ic.states.to_string() + "}"));
+    }
+  }
+  for (size_t i = 0; i < ocs.size(); ++i) {
+    const auto& oc = ocs[i];
+    NOVA_VALIDATE(oc.covering >= 0 && oc.covering < num_states &&
+                      oc.covered >= 0 && oc.covered < num_states,
+                  at(ctx, "output constraint " + std::to_string(i) +
+                              " has out-of-range state indices"));
+    NOVA_VALIDATE(oc.covering != oc.covered,
+                  at(ctx, "output constraint " + std::to_string(i) +
+                              " is self-covering"));
+    // Bit-wise cross-check of the covering predicate.
+    const uint64_t u = enc.codes[oc.covering], v = enc.codes[oc.covered];
+    bool manual = u != v;
+    for (int b = 0; b < enc.nbits && manual; ++b) {
+      if (((v >> b) & 1) && !((u >> b) & 1)) manual = false;
+    }
+    NOVA_VALIDATE(encoding::covering_satisfied(enc, oc) == manual,
+                  at(ctx, "covering_satisfied disagrees with the bit-wise "
+                          "check on output constraint " +
+                              std::to_string(i)));
+  }
+}
+
+void check_espresso_post(const logic::Cover& result, const logic::Cover& on,
+                         const logic::Cover& dc, const char* ctx) {
+  obs::Span span("check.espresso_post");
+  check_cover(result, ctx);
+  NOVA_VALIDATE(result.spec() == on.spec(),
+                at(ctx, "result spec differs from on-set spec"));
+  // The defining contract is ON subseteq result u DC: minimization may
+  // shed on-cubes that the don't-care set absorbs.
+  logic::Cover rdc = result;
+  rdc.add_all(dc);
+  NOVA_VALIDATE(logic::covers_cover(rdc, on),
+                at(ctx, "minimized cover fails to cover the on-set"));
+  logic::Cover ondc = on;
+  ondc.add_all(dc);
+  NOVA_VALIDATE(logic::covers_cover(ondc, result),
+                at(ctx, "minimized cover intersects the off-set"));
+}
+
+#undef NOVA_VALIDATE
+
+}  // namespace nova::check

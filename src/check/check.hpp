@@ -1,0 +1,51 @@
+// Deep structural validators for the core pipeline datatypes.
+//
+// Each validator checks unconditionally when called -- gating on
+// nova::check::level() is the caller's job (the driver wires them in at the
+// paranoid level; tests call them directly). Every validator opens an obs
+// span named "check.<validator>", so paranoid runs show where validation
+// time goes, and raises ContractViolation (after bumping the
+// "check.violations" counter) on the first defect found.
+#pragma once
+
+#include <vector>
+
+#include "check/contract.hpp"
+#include "constraints/constraints.hpp"
+#include "encoding/encoding.hpp"
+#include "fsm/fsm.hpp"
+#include "logic/cover.hpp"
+
+namespace nova::check {
+
+/// Well-formed positional-cube cover: every cube has the spec's bit width
+/// and denotes a non-empty set (no empty variable part).
+void check_cover(const logic::Cover& F, const char* ctx);
+
+/// Structurally consistent FSM: valid transition patterns and widths,
+/// state indices in range, reset state in range, unique state names.
+void check_fsm(const fsm::Fsm& fsm, const char* ctx);
+
+/// Well-formed encoding over `ics`: code width in [1,63], one code per
+/// state, codes fit in nbits and are pairwise distinct. For every input
+/// constraint, the library's face-satisfaction predicate is cross-checked
+/// against a brute-force oracle (enumerate the minimal face's vertices;
+/// satisfied iff the face contains all-and-only member codes) whenever
+/// nbits <= 16. Output constraints are checked for representability
+/// (covering != covered, indices in range) and the covering predicate is
+/// cross-checked bit-wise.
+void check_encoding(const encoding::Encoding& enc, int num_states,
+                    const std::vector<constraints::InputConstraint>& ics,
+                    const char* ctx);
+void check_encoding(const encoding::Encoding& enc, int num_states,
+                    const std::vector<constraints::InputConstraint>& ics,
+                    const std::vector<constraints::OutputConstraint>& ocs,
+                    const char* ctx);
+
+/// The defining contract of two-level minimization: ON subseteq result u DC
+/// and result subseteq ON u DC, decided with the library's tautology-based
+/// covering checks. Also validates the result cover structurally.
+void check_espresso_post(const logic::Cover& result, const logic::Cover& on,
+                         const logic::Cover& dc, const char* ctx);
+
+}  // namespace nova::check

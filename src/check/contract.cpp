@@ -1,0 +1,49 @@
+#include "check/contract.hpp"
+
+#include <cstdlib>
+
+#include "obs/obs.hpp"
+
+namespace nova::check {
+
+namespace {
+
+Level clamp_to_compiled(Level l) {
+  return compiled(l) ? l : kCompiledMax;
+}
+
+Level level_from_env() {
+  const char* e = std::getenv("NOVA_CHECK_LEVEL");
+  Level l = e ? parse_level(e, Level::kCheap) : Level::kCheap;
+  return clamp_to_compiled(l);
+}
+
+}  // namespace
+
+namespace detail {
+Level g_level = level_from_env();
+}  // namespace detail
+
+Level set_level(Level l) {
+  Level prev = detail::g_level;
+  detail::g_level = clamp_to_compiled(l);
+  return prev;
+}
+
+Level parse_level(const std::string& s, Level fallback) {
+  if (s == "off" || s == "0") return Level::kOff;
+  if (s == "cheap" || s == "1") return Level::kCheap;
+  if (s == "paranoid" || s == "2") return Level::kParanoid;
+  return fallback;
+}
+
+void fail(const char* expr, const std::string& msg, const char* file,
+          int line) {
+  obs::counter_add("check.violations");
+  throw ContractViolation(std::string(file) + ":" + std::to_string(line) +
+                              ": contract violated: " + msg + " [" + expr +
+                              "]",
+                          file, line);
+}
+
+}  // namespace nova::check

@@ -1,0 +1,108 @@
+// Leveled contract (invariant) checking: the library's replacement for raw
+// assert().
+//
+//   NOVA_CONTRACT(cheap,    expr, msg)   // O(1)-ish checks, hot-path safe
+//   NOVA_CONTRACT(paranoid, expr, msg)   // deep structural postconditions
+//
+// Whether a contract is live is decided twice:
+//  - at configure time: the NOVA_CHECK_LEVEL CMake option (OFF|CHEAP|
+//    PARANOID) sets the compiled ceiling via the NOVA_CHECK_MAX_LEVEL
+//    definition; contracts above the ceiling are compiled out entirely
+//    (the condition is never evaluated and no code is generated);
+//  - at run time: the NOVA_CHECK_LEVEL environment variable (off|cheap|
+//    paranoid, default cheap) or set_level() selects the active level,
+//    clamped to the compiled ceiling.
+//
+// A failing contract increments the obs counter "check.violations" (so
+// traced runs surface violations in their report) and throws
+// ContractViolation carrying file:line, the failed expression and the
+// message. The message operand is evaluated only on failure, so call sites
+// may build diagnostic strings without a fast-path cost.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+#ifndef NOVA_CHECK_MAX_LEVEL
+#define NOVA_CHECK_MAX_LEVEL 2
+#endif
+
+namespace nova::check {
+
+enum class Level : int { kOff = 0, kCheap = 1, kParanoid = 2 };
+
+/// Compiled ceiling, from the NOVA_CHECK_LEVEL CMake option.
+inline constexpr Level kCompiledMax = static_cast<Level>(NOVA_CHECK_MAX_LEVEL);
+
+constexpr bool compiled(Level l) {
+  return static_cast<int>(l) <= static_cast<int>(kCompiledMax);
+}
+
+/// Level tokens accepted by NOVA_CONTRACT's first argument.
+namespace levels {
+inline constexpr Level cheap = Level::kCheap;
+inline constexpr Level paranoid = Level::kParanoid;
+}  // namespace levels
+
+/// Thrown when a contract or a deep validator fails.
+class ContractViolation : public std::logic_error {
+ public:
+  ContractViolation(const std::string& what_arg, std::string file, int line)
+      : std::logic_error(what_arg), file_(std::move(file)), line_(line) {}
+
+  const std::string& file() const { return file_; }
+  int line() const { return line_; }
+
+ private:
+  std::string file_;
+  int line_;
+};
+
+namespace detail {
+// Plain (non-atomic) read on the contract fast path: one load + compare.
+extern Level g_level;
+}  // namespace detail
+
+/// Active runtime level (never above the compiled ceiling).
+inline Level level() { return detail::g_level; }
+
+/// True when contracts at level `l` are live right now.
+inline bool active(Level l) {
+  return static_cast<int>(detail::g_level) >= static_cast<int>(l);
+}
+
+/// Sets the runtime level (clamped to the compiled ceiling); returns the
+/// previous level.
+Level set_level(Level l);
+
+/// Parses "off"/"cheap"/"paranoid" (or "0"/"1"/"2"); `fallback` on anything
+/// else.
+Level parse_level(const std::string& s, Level fallback);
+
+/// Records the violation (obs counter "check.violations") and throws
+/// ContractViolation. Used by NOVA_CONTRACT and by the deep validators.
+[[noreturn]] void fail(const char* expr, const std::string& msg,
+                       const char* file, int line);
+
+/// RAII level override for tests and paranoid sweeps.
+class ScopedLevel {
+ public:
+  explicit ScopedLevel(Level l) : prev_(set_level(l)) {}
+  ~ScopedLevel() { set_level(prev_); }
+  ScopedLevel(const ScopedLevel&) = delete;
+  ScopedLevel& operator=(const ScopedLevel&) = delete;
+
+ private:
+  Level prev_;
+};
+
+}  // namespace nova::check
+
+#define NOVA_CONTRACT(level, expr, msg)                                     \
+  do {                                                                      \
+    if constexpr (::nova::check::compiled(::nova::check::levels::level)) {  \
+      if (::nova::check::active(::nova::check::levels::level) && !(expr)) { \
+        ::nova::check::fail(#expr, (msg), __FILE__, __LINE__);              \
+      }                                                                     \
+    }                                                                       \
+  } while (0)

@@ -1,0 +1,580 @@
+#include "check/lint.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <map>
+#include <sstream>
+
+#include "constraints/input_constraints.hpp"
+#include "constraints/symbolic_min.hpp"
+
+namespace nova::check {
+
+const char* severity_name(Severity s) {
+  switch (s) {
+    case Severity::kError:
+      return "error";
+    case Severity::kWarning:
+      return "warning";
+    case Severity::kNote:
+      return "note";
+  }
+  return "unknown";
+}
+
+std::string Diagnostic::render() const {
+  std::string s = file;
+  if (line > 0) s += ":" + std::to_string(line);
+  s += ": ";
+  s += severity_name(severity);
+  s += ": " + message + " [" + id + "]";
+  return s;
+}
+
+int LintResult::errors() const {
+  int n = 0;
+  for (const auto& d : diags) n += d.severity == Severity::kError;
+  return n;
+}
+
+int LintResult::warnings() const {
+  int n = 0;
+  for (const auto& d : diags) n += d.severity == Severity::kWarning;
+  return n;
+}
+
+void LintResult::add(Severity sev, std::string id, std::string file, int line,
+                     std::string message) {
+  diags.push_back(
+      {sev, std::move(id), std::move(file), line, std::move(message)});
+}
+
+namespace {
+
+bool pattern_chars_ok(const std::string& p) {
+  for (char c : p) {
+    if (c != '0' && c != '1' && c != '-') return false;
+  }
+  return true;
+}
+
+/// True iff cube(b) is a subset of cube(a) over '0'/'1'/'-' patterns.
+bool pattern_contains(const std::string& a, const std::string& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i] != '-' && a[i] != b[i]) return false;
+  }
+  return true;
+}
+
+struct KissRow {
+  std::string in, ps, ns, out;
+  int line = 0;
+};
+
+}  // namespace
+
+LintResult lint_kiss_text(const std::string& text, const std::string& filename,
+                          const LintOptions& opts) {
+  LintResult res;
+  auto err = [&](const std::string& id, int line, const std::string& msg) {
+    res.add(Severity::kError, id, filename, line, msg);
+  };
+  auto warn = [&](const std::string& id, int line, const std::string& msg) {
+    res.add(Severity::kWarning, id, filename, line, msg);
+  };
+
+  int ni = -1, no = -1, np = -1, ns = -1;
+  std::string reset_name;
+  int reset_line = 0;
+  std::vector<KissRow> rows;
+
+  std::istringstream in(text);
+  std::string line;
+  int lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    auto hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    std::istringstream ss(line);
+    std::string tok;
+    if (!(ss >> tok)) continue;
+    if (tok == ".i") {
+      if (!(ss >> ni) || ni < 0) err("parse-error", lineno, "bad .i directive");
+    } else if (tok == ".o") {
+      if (!(ss >> no) || no < 0) err("parse-error", lineno, "bad .o directive");
+    } else if (tok == ".p") {
+      if (!(ss >> np)) err("parse-error", lineno, "bad .p directive");
+    } else if (tok == ".s") {
+      if (!(ss >> ns)) err("parse-error", lineno, "bad .s directive");
+    } else if (tok == ".r") {
+      if (!(ss >> reset_name)) err("parse-error", lineno, "bad .r directive");
+      reset_line = lineno;
+    } else if (tok == ".e" || tok == ".end") {
+      break;
+    } else if (tok[0] == '.') {
+      continue;  // unknown dot-directive: the parser ignores these too
+    } else {
+      KissRow r;
+      r.in = tok;
+      r.line = lineno;
+      if (!(ss >> r.ps >> r.ns >> r.out)) {
+        err("malformed-row", lineno,
+            "transition row needs 4 fields (input present next output)");
+        continue;
+      }
+      rows.push_back(std::move(r));
+    }
+  }
+
+  if (ni < 0 || no < 0) {
+    err("missing-header", 0, "missing .i or .o directive");
+    // Infer widths from the first row so row-level checks still run.
+    if (!rows.empty()) {
+      if (ni < 0) ni = static_cast<int>(rows[0].in.size());
+      if (no < 0) no = static_cast<int>(rows[0].out.size());
+    }
+  }
+
+  std::vector<char> bad(rows.size(), 0);
+  for (size_t idx = 0; idx < rows.size(); ++idx) {
+    const auto& r = rows[idx];
+    if (ni >= 0 && static_cast<int>(r.in.size()) != ni) {
+      err("width-mismatch", r.line,
+          "input pattern '" + r.in + "' has " + std::to_string(r.in.size()) +
+              " columns, .i says " + std::to_string(ni));
+      bad[idx] = 1;
+    } else if (!pattern_chars_ok(r.in)) {
+      err("bad-literal", r.line,
+          "input pattern '" + r.in + "' contains characters outside 0/1/-");
+      bad[idx] = 1;
+    }
+    if (no >= 0 && static_cast<int>(r.out.size()) != no) {
+      err("width-mismatch", r.line,
+          "output pattern '" + r.out + "' has " + std::to_string(r.out.size()) +
+              " columns, .o says " + std::to_string(no));
+      bad[idx] = 1;
+    } else if (!pattern_chars_ok(r.out)) {
+      err("bad-literal", r.line,
+          "output pattern '" + r.out + "' contains characters outside 0/1/-");
+      bad[idx] = 1;
+    }
+  }
+
+  if (np >= 0 && np != static_cast<int>(rows.size())) {
+    err("count-mismatch", 0,
+        ".p says " + std::to_string(np) + " terms, table has " +
+            std::to_string(rows.size()));
+  }
+
+  if (ni < 0 || no < 0) return res;
+
+  // Drop the malformed rows (already reported) and analyze the rest, so one
+  // bad line does not mask semantic problems elsewhere in the table.
+  {
+    std::vector<KissRow> good;
+    good.reserve(rows.size());
+    for (size_t idx = 0; idx < rows.size(); ++idx) {
+      if (!bad[idx]) good.push_back(std::move(rows[idx]));
+    }
+    rows = std::move(good);
+  }
+
+  // Build the FSM model exactly like the parser: present states interned
+  // first (table order), then next states.
+  fsm::Fsm fsm(ni, no);
+  for (const auto& r : rows) {
+    if (r.ps != "*") fsm.intern_state(r.ps);
+  }
+  for (const auto& r : rows) {
+    if (r.ns != "*") fsm.intern_state(r.ns);
+  }
+  for (const auto& r : rows) {
+    try {
+      fsm.add_transition(r.in, r.ps, r.ns, r.out);
+    } catch (const std::invalid_argument& e) {
+      err("parse-error", r.line, e.what());
+      return res;
+    }
+  }
+
+  if (!reset_name.empty()) {
+    auto s = fsm.find_state(reset_name);
+    if (!s) {
+      err("unknown-state", reset_line,
+          ".r names unknown state '" + reset_name + "'");
+    } else {
+      fsm.set_reset_state(*s);
+    }
+  }
+  if (ns >= 0 && ns != fsm.num_states()) {
+    err("count-mismatch", 0,
+        ".s says " + std::to_string(ns) + " states, table has " +
+            std::to_string(fsm.num_states()));
+  }
+
+  // Pairwise transition analysis: conflicts, duplicates, shadowed rows.
+  const auto& ts = fsm.transitions();
+  for (size_t i = 0; i < ts.size(); ++i) {
+    for (size_t j = i + 1; j < ts.size(); ++j) {
+      const bool same_state = ts[i].present == ts[j].present ||
+                              ts[i].present == -1 || ts[j].present == -1;
+      if (!same_state) continue;
+      if (!fsm::input_patterns_intersect(ts[i].input, ts[j].input)) continue;
+      bool conflict =
+          ts[i].next != ts[j].next && ts[i].next != -1 && ts[j].next != -1;
+      for (size_t k = 0; k < ts[i].output.size() && !conflict; ++k) {
+        const char a = ts[i].output[k], b = ts[j].output[k];
+        conflict = (a == '0' && b == '1') || (a == '1' && b == '0');
+      }
+      if (conflict) {
+        err("conflicting-transitions", rows[j].line,
+            "non-deterministic: input cube overlaps row at line " +
+                std::to_string(rows[i].line) +
+                " with a different next state or opposing outputs");
+        continue;
+      }
+      const bool same_outcome =
+          ts[i].next == ts[j].next && ts[i].output == ts[j].output;
+      if (rows[i].in == rows[j].in && ts[i].present == ts[j].present &&
+          same_outcome) {
+        warn("duplicate-transition", rows[j].line,
+             "row repeats the transition at line " +
+                 std::to_string(rows[i].line));
+      } else if (same_outcome && ts[i].present == ts[j].present &&
+                 pattern_contains(ts[i].input, ts[j].input)) {
+        warn("redundant-transition", rows[j].line,
+             "row is contained in the transition at line " +
+                 std::to_string(rows[i].line));
+      }
+    }
+  }
+
+  // Reachability and dead ends.
+  auto seen = fsm.reachable_states();
+  for (int s = 0; s < fsm.num_states(); ++s) {
+    if (!seen[s]) {
+      warn("unreachable-state", 0,
+           "state '" + fsm.state_name(s) + "' is unreachable from the reset "
+           "state '" + fsm.state_name(fsm.reset_state()) + "'");
+    }
+  }
+  for (int s = 0; s < fsm.num_states(); ++s) {
+    bool outgoing = false;
+    for (const auto& t : ts) {
+      if (t.present == s || t.present == -1) {
+        outgoing = true;
+        break;
+      }
+    }
+    if (!outgoing) {
+      warn("dead-end-state", 0,
+           "state '" + fsm.state_name(s) + "' has no outgoing transitions");
+    }
+  }
+
+  // Inputs that no row ever observes.
+  for (int c = 0; c < ni && !rows.empty(); ++c) {
+    bool used = false;
+    for (const auto& t : ts) {
+      if (t.input[c] != '-') {
+        used = true;
+        break;
+      }
+    }
+    if (!used) {
+      warn("unused-input", 0,
+           "input column " + std::to_string(c) + " is '-' in every row");
+    }
+  }
+
+  if (opts.analyze_constraints && fsm.num_states() > 0) {
+    // Covering cycles in the output-constraint clusters are unsatisfiable
+    // under any encoding: u > v and (transitively) v > u force u == v.
+    auto sm = constraints::symbolic_minimize(fsm);
+    std::map<int, std::vector<int>> adj;
+    for (const auto& cl : sm.clusters) {
+      for (const auto& e : cl.edges) adj[e.covering].push_back(e.covered);
+    }
+    std::map<int, int> color;  // 0 new, 1 open, 2 done
+    std::vector<int> cycle;
+    std::function<bool(int)> dfs = [&](int u) -> bool {
+      color[u] = 1;
+      for (int v : adj[u]) {
+        if (color[v] == 1) {
+          cycle = {u, v};
+          return true;
+        }
+        if (color[v] == 0 && dfs(v)) return true;
+      }
+      color[u] = 2;
+      return false;
+    };
+    for (const auto& [u, _] : adj) {
+      if (color[u] == 0 && dfs(u)) break;
+    }
+    if (!cycle.empty()) {
+      warn("unsatisfiable-constraints", 0,
+           "output covering constraints form a cycle through states '" +
+               fsm.state_name(cycle[0]) + "' and '" +
+               fsm.state_name(cycle[1]) +
+               "'; no encoding can satisfy all of them");
+    }
+  }
+
+  return res;
+}
+
+LintResult lint_pla_text(const std::string& text,
+                         const std::string& filename) {
+  LintResult res;
+  auto err = [&](const std::string& id, int line, const std::string& msg) {
+    res.add(Severity::kError, id, filename, line, msg);
+  };
+  auto warn = [&](const std::string& id, int line, const std::string& msg) {
+    res.add(Severity::kWarning, id, filename, line, msg);
+  };
+
+  struct PlaRow {
+    std::string in, out;
+    int line = 0;
+  };
+  int ni = -1, no = -1, np = -1;
+  int nilb = -1, nob = -1;
+  std::vector<PlaRow> rows;
+
+  std::istringstream in(text);
+  std::string line;
+  int lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    auto hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    std::istringstream ss(line);
+    std::string tok;
+    if (!(ss >> tok)) continue;
+    if (tok == ".i") {
+      if (!(ss >> ni) || ni < 0) err("parse-error", lineno, "bad .i directive");
+    } else if (tok == ".o") {
+      if (!(ss >> no) || no < 0) err("parse-error", lineno, "bad .o directive");
+    } else if (tok == ".p") {
+      if (!(ss >> np)) err("parse-error", lineno, "bad .p directive");
+    } else if (tok == ".ilb" || tok == ".ob") {
+      int n = 0;
+      std::string l;
+      while (ss >> l) ++n;
+      (tok == ".ilb" ? nilb : nob) = n;
+    } else if (tok == ".type") {
+      std::string t;
+      if ((ss >> t) && t != "fd" && t != "f") {
+        warn("unsupported-type", lineno,
+             ".type " + t + " is read with type-fd semantics");
+      }
+    } else if (tok == ".e" || tok == ".end") {
+      break;
+    } else if (tok[0] == '.') {
+      continue;
+    } else {
+      PlaRow r;
+      r.in = tok;
+      r.line = lineno;
+      if (!(ss >> r.out)) {
+        err("malformed-row", lineno, "cube row needs input and output fields");
+        continue;
+      }
+      rows.push_back(std::move(r));
+    }
+  }
+
+  if (ni < 0 && !rows.empty()) ni = static_cast<int>(rows[0].in.size());
+  if (no < 0 && !rows.empty()) no = static_cast<int>(rows[0].out.size());
+
+  for (const auto& r : rows) {
+    if (static_cast<int>(r.in.size()) != ni) {
+      err("width-mismatch", r.line,
+          "input field has " + std::to_string(r.in.size()) +
+              " columns, expected " + std::to_string(ni));
+      continue;
+    }
+    if (static_cast<int>(r.out.size()) != no) {
+      err("width-mismatch", r.line,
+          "output field has " + std::to_string(r.out.size()) +
+              " columns, expected " + std::to_string(no));
+      continue;
+    }
+    for (char c : r.in) {
+      if (c != '0' && c != '1' && c != '-' && c != 'x' && c != '2') {
+        err("bad-literal", r.line,
+            std::string("bad input character '") + c +
+                "' (the reader would silently drop this cube)");
+        break;
+      }
+    }
+    for (char c : r.out) {
+      if (c != '0' && c != '1' && c != '-' && c != '2' && c != '4' &&
+          c != '~') {
+        err("bad-literal", r.line,
+            std::string("bad output character '") + c + "'");
+        break;
+      }
+    }
+  }
+
+  if (np >= 0 && np != static_cast<int>(rows.size())) {
+    warn("count-mismatch", 0,
+         ".p says " + std::to_string(np) + " terms, file has " +
+             std::to_string(rows.size()));
+  }
+  if (nilb >= 0 && ni >= 0 && nilb != ni) {
+    warn("label-mismatch", 0,
+         ".ilb has " + std::to_string(nilb) + " labels for " +
+             std::to_string(ni) + " inputs");
+  }
+  if (nob >= 0 && no >= 0 && nob != no) {
+    warn("label-mismatch", 0,
+         ".ob has " + std::to_string(nob) + " labels for " +
+             std::to_string(no) + " outputs");
+  }
+
+  // Duplicate and shadowed rows (same outputs, contained input cube).
+  auto cube_contains = [](const std::string& a, const std::string& b) {
+    for (size_t i = 0; i < a.size(); ++i) {
+      char ca = a[i] == 'x' || a[i] == '2' ? '-' : a[i];
+      char cb = b[i] == 'x' || b[i] == '2' ? '-' : b[i];
+      if (ca != '-' && ca != cb) return false;
+    }
+    return true;
+  };
+  for (size_t i = 0; i < rows.size(); ++i) {
+    if (static_cast<int>(rows[i].in.size()) != ni) continue;
+    for (size_t j = i + 1; j < rows.size(); ++j) {
+      if (static_cast<int>(rows[j].in.size()) != ni) continue;
+      if (rows[i].out != rows[j].out) continue;
+      if (rows[i].in == rows[j].in) {
+        warn("duplicate-row", rows[j].line,
+             "row repeats the cube at line " + std::to_string(rows[i].line));
+      } else if (cube_contains(rows[i].in, rows[j].in)) {
+        warn("redundant-term", rows[j].line,
+             "row is contained in the cube at line " +
+                 std::to_string(rows[i].line));
+      }
+    }
+  }
+
+  return res;
+}
+
+LintResult lint_encoding_text(const fsm::Fsm& fsm, const std::string& text,
+                              const std::string& filename) {
+  LintResult res;
+  auto err = [&](const std::string& id, int line, const std::string& msg) {
+    res.add(Severity::kError, id, filename, line, msg);
+  };
+
+  const int n = fsm.num_states();
+  std::vector<int> code_line(n, 0);
+  encoding::Encoding enc;
+  enc.codes.assign(n, 0);
+
+  std::istringstream in(text);
+  std::string line;
+  int lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    auto hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    std::istringstream ss(line);
+    std::string name, bits;
+    if (!(ss >> name)) continue;
+    if (!(ss >> bits)) {
+      err("parse-error", lineno, "expected '<state> <code-bits>'");
+      continue;
+    }
+    auto s = fsm.find_state(name);
+    if (!s) {
+      err("unknown-state", lineno, "unknown state '" + name + "'");
+      continue;
+    }
+    bool ok = !bits.empty() && bits.size() <= 63;
+    for (char c : bits) ok = ok && (c == '0' || c == '1');
+    if (!ok) {
+      err("bad-literal", lineno, "code '" + bits + "' is not a 0/1 string");
+      continue;
+    }
+    if (enc.nbits == 0) {
+      enc.nbits = static_cast<int>(bits.size());
+    } else if (static_cast<int>(bits.size()) != enc.nbits) {
+      err("width-mismatch", lineno,
+          "code '" + bits + "' has " + std::to_string(bits.size()) +
+              " bits, earlier codes have " + std::to_string(enc.nbits));
+      continue;
+    }
+    uint64_t code = 0;  // MSB-first rendering, matching Encoding::code_string
+    for (int b = 0; b < enc.nbits; ++b) {
+      if (bits[enc.nbits - 1 - b] == '1') code |= uint64_t{1} << b;
+    }
+    if (code_line[*s] != 0) {
+      err("duplicate-code", lineno,
+          "state '" + name + "' already has a code at line " +
+              std::to_string(code_line[*s]));
+      continue;
+    }
+    enc.codes[*s] = code;
+    code_line[*s] = lineno;
+  }
+
+  for (int s = 0; s < n; ++s) {
+    if (code_line[s] == 0) {
+      err("missing-code", 0, "state '" + fsm.state_name(s) + "' has no code");
+    }
+  }
+  if (res.errors() > 0) return res;
+
+  for (int a = 0; a < n; ++a) {
+    for (int b = a + 1; b < n; ++b) {
+      if (enc.codes[a] == enc.codes[b]) {
+        err("duplicate-code", code_line[b],
+            "states '" + fsm.state_name(a) + "' and '" + fsm.state_name(b) +
+                "' share code " + enc.code_string(a));
+      }
+    }
+  }
+  if (res.errors() > 0) return res;
+
+  // Face-embedding constraint satisfaction (informative).
+  auto ics = constraints::extract_input_constraints(fsm).constraints;
+  for (const auto& ic : ics) {
+    if (encoding::constraint_satisfied(enc, ic)) continue;
+    std::string members;
+    for (int s = ic.states.first(); s >= 0; s = ic.states.next(s + 1)) {
+      if (!members.empty()) members += ", ";
+      members += fsm.state_name(s);
+    }
+    res.add(Severity::kWarning, "unsatisfied-constraint", filename, 0,
+            "face constraint {" + members + "} (weight " +
+                std::to_string(ic.weight) + ") is not satisfied");
+  }
+  return res;
+}
+
+obs::Json lint_to_json(const LintResult& res) {
+  using obs::Json;
+  Json diags = Json::array();
+  for (const auto& d : res.diags) {
+    Json j = Json::object();
+    j.set("file", d.file);
+    j.set("line", d.line);
+    j.set("severity", severity_name(d.severity));
+    j.set("id", d.id);
+    j.set("message", d.message);
+    diags.push_back(std::move(j));
+  }
+  Json j = Json::object();
+  j.set("version", 1);
+  j.set("errors", res.errors());
+  j.set("warnings", res.warnings());
+  j.set("diagnostics", std::move(diags));
+  return j;
+}
+
+}  // namespace nova::check

@@ -1,0 +1,75 @@
+// Static lint engine behind the `nova_check` CLI: diagnostics over KISS2
+// texts, PLA texts, and completed encodings.
+//
+// Linting never throws on malformed input -- syntax problems become
+// error-severity diagnostics with file:line locations. Severity "error"
+// marks input the NOVA pipeline would reject or silently miscompute
+// (parse failures, conflicting transitions, duplicate codes); "warning"
+// marks suspicious-but-usable constructs (unreachable states, duplicate
+// rows, unsatisfied constraints).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "encoding/encoding.hpp"
+#include "fsm/fsm.hpp"
+#include "obs/json.hpp"
+
+namespace nova::check {
+
+enum class Severity { kError, kWarning, kNote };
+
+const char* severity_name(Severity s);
+
+struct Diagnostic {
+  Severity severity = Severity::kError;
+  std::string id;       ///< stable machine-readable class, e.g. "parse-error"
+  std::string file;     ///< source file name ("<string>" for in-memory text)
+  int line = 0;         ///< 1-based; 0 = whole-file diagnostic
+  std::string message;
+
+  /// "file:line: severity: message [id]" (line omitted when 0).
+  std::string render() const;
+};
+
+struct LintResult {
+  std::vector<Diagnostic> diags;
+
+  int errors() const;
+  int warnings() const;
+  void add(Severity sev, std::string id, std::string file, int line,
+           std::string message);
+};
+
+struct LintOptions {
+  /// Run constraint extraction (MV minimization) and report covering-cycle
+  /// clusters that no encoding can fully satisfy. Costs an espresso run.
+  bool analyze_constraints = false;
+};
+
+/// Lints KISS2 text. Diagnostic classes: parse-error, missing-header,
+/// malformed-row, width-mismatch, bad-literal, count-mismatch,
+/// unknown-state, conflicting-transitions, duplicate-transition,
+/// redundant-transition, unreachable-state, dead-end-state, unused-input,
+/// unsatisfiable-constraints (with analyze_constraints).
+LintResult lint_kiss_text(const std::string& text, const std::string& filename,
+                          const LintOptions& opts = {});
+
+/// Lints PLA text. Diagnostic classes: parse-error, malformed-row,
+/// width-mismatch, bad-literal, count-mismatch, label-mismatch,
+/// duplicate-row, redundant-term.
+LintResult lint_pla_text(const std::string& text, const std::string& filename);
+
+/// Lints a completed encoding (state -> code lines) against a parsed FSM.
+/// Diagnostic classes: parse-error, bad-literal, width-mismatch,
+/// unknown-state, duplicate-code, missing-code, unsatisfied-constraint.
+LintResult lint_encoding_text(const fsm::Fsm& fsm, const std::string& text,
+                              const std::string& filename);
+
+/// Machine-readable report:
+///   {"version":1, "errors":N, "warnings":N,
+///    "diagnostics":[{"file","line","severity","id","message"}]}
+obs::Json lint_to_json(const LintResult& res);
+
+}  // namespace nova::check

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <map>
 
+#include "check/contract.hpp"
 #include "obs/obs.hpp"
 
 namespace nova::constraints {
@@ -38,6 +39,19 @@ std::vector<InputConstraint> normalize_constraints(
   obs::counter_add("constraints.deduplicated",
                    static_cast<long>(ics.size() - out.size()));
   obs::counter_add("constraints.normalized", static_cast<long>(out.size()));
+  if (check::active(check::levels::paranoid)) {
+    for (size_t i = 0; i < out.size(); ++i) {
+      int c = out[i].cardinality();
+      NOVA_CONTRACT(paranoid, c >= 2 && c < num_states,
+                    "normalized constraint has trivial cardinality");
+      NOVA_CONTRACT(paranoid, out[i].weight >= 1,
+                    "normalized constraint has non-positive weight");
+      NOVA_CONTRACT(paranoid, out[i].states.size() == num_states,
+                    "normalized constraint width differs from state count");
+      NOVA_CONTRACT(paranoid, i == 0 || out[i - 1].states != out[i].states,
+                    "normalize_constraints emitted a duplicate state set");
+    }
+  }
   return out;
 }
 

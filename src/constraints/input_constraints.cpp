@@ -1,5 +1,6 @@
 #include "constraints/input_constraints.hpp"
 
+#include "check/contract.hpp"
 #include "fsm/symbolic.hpp"
 #include "obs/obs.hpp"
 
@@ -37,6 +38,10 @@ InputConstraintResult extract_input_constraints(
     raw.push_back(std::move(ic));
   }
   res.constraints = normalize_constraints(std::move(raw), n);
+  for (const auto& ic : res.constraints) {
+    NOVA_CONTRACT(cheap, ic.states.size() == n && !ic.states.none(),
+                  "extracted input constraint is empty or mis-sized");
+  }
   return res;
 }
 

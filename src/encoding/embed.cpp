@@ -3,12 +3,38 @@
 #include <algorithm>
 #include <numeric>
 #include <optional>
+#include <string>
 
+#include "check/contract.hpp"
 #include "obs/obs.hpp"
 
 namespace nova::encoding {
 
 namespace {
+
+/// Postconditions of a successful embedding: the extracted encoding is
+/// injective, and every poset node's face holds the codes of all member
+/// states and of no others (the all-and-only condition of paper 2.2).
+void contract_embed_post(const InputGraph& ig, int k, const EmbedResult& res) {
+  if (!res.success) return;
+  NOVA_CONTRACT(cheap, res.enc.nbits == k && res.enc.injective(),
+                "embedding produced duplicate or mis-sized state codes");
+  if (!check::active(check::levels::paranoid)) return;
+  obs::Span span("check.embed_post");
+  for (int i = 0; i < ig.size(); ++i) {
+    if (i == ig.universe()) continue;
+    const Face& f = res.faces[i];
+    const util::BitVec& set = ig.node(i).set;
+    for (int s = 0; s < ig.num_states(); ++s) {
+      NOVA_CONTRACT(paranoid,
+                    set.get(s) == f.contains_code(res.enc.codes[s]),
+                    "face of poset node " + std::to_string(i) +
+                        (set.get(s) ? " misses member state "
+                                    : " captures non-member state ") +
+                        std::to_string(s));
+    }
+  }
+}
 
 /// Enumerates the subfaces of a base face, level by level, in the paper's
 /// order: for each x-position pattern (lexicographic combinations of the
@@ -370,6 +396,7 @@ EmbedResult pos_equiv(const InputGraph& ig, int k,
   obs::Span span("embed.pos_equiv");
   Search s(ig, k, dimvect, opts);
   EmbedResult res = s.run();
+  contract_embed_post(ig, k, res);
   if (obs::enabled()) {
     obs::counter_add("embed.calls");
     obs::counter_add("embed.work", res.work);

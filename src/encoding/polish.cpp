@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <numeric>
 
+#include "check/contract.hpp"
+
 namespace nova::encoding {
 
 namespace {
@@ -106,6 +108,12 @@ PolishResult polish_encoding(Encoding& enc,
     if (!improved) break;
   }
   res.weight_after = cur;
+  NOVA_CONTRACT(cheap, res.weight_after >= res.weight_before,
+                "polish decreased the satisfied constraint weight");
+  NOVA_CONTRACT(cheap, enc.injective(),
+                "polish produced duplicate state codes");
+  NOVA_CONTRACT(paranoid, satisfied_weight(enc, ics) == cur,
+                "polish weight accounting diverged from recomputation");
   return res;
 }
 

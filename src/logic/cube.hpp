@@ -37,7 +37,9 @@ class Cube {
       if (ch == '1') c.bits_.set(i);
       ++i;
     }
-    assert(i == spec.total_bits());
+    NOVA_CONTRACT(cheap, i == spec.total_bits(),
+                  "cube string has " + std::to_string(i) + " bits, spec has " +
+                      std::to_string(spec.total_bits()));
     return c;
   }
 
@@ -49,7 +51,8 @@ class Cube {
                            const std::string& s) {
     for (int j = 0; j < static_cast<int>(s.size()); ++j) {
       int v = first_var + j;
-      assert(spec.is_binary(v));
+      NOVA_CONTRACT(cheap, spec.is_binary(v),
+                    "PLA shorthand only applies to binary variables");
       char ch = s[j];
       bits_.clear(spec.bit(v, 0));
       bits_.clear(spec.bit(v, 1));

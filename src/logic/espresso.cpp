@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <numeric>
 
+#include "check/contract.hpp"
 #include "logic/exact.hpp"  // consensus()
 #include "obs/obs.hpp"
 
@@ -133,6 +134,23 @@ struct Cost {
 };
 
 Cost cost_of(const Cover& F) { return {F.size(), F.total_weight()}; }
+
+/// Paranoid postcondition of minimization: ON subseteq result u DC and
+/// result subseteq ON u DC (result may shed on-cubes that the don't-care
+/// set absorbs), decided with the tautology-based covering checks.
+void contract_minimization_post(const Cover& result, const Cover& on,
+                                const Cover& dc) {
+  if (!check::active(check::levels::paranoid)) return;
+  obs::Span span("check.espresso_post");
+  Cover rdc = result;
+  rdc.add_all(dc);
+  NOVA_CONTRACT(paranoid, covers_cover(rdc, on),
+                "espresso result no longer covers the on-set");
+  Cover ondc = on;
+  ondc.add_all(dc);
+  NOVA_CONTRACT(paranoid, covers_cover(ondc, result),
+                "espresso result intersects the off-set");
+}
 
 /// LAST_GASP-style escape from local minima: reduce every cube maximally
 /// and independently, then try pairwise supercube merges of the reduced
@@ -325,6 +343,7 @@ Cover espresso(const Cover& on, const Cover& dc, const EspressoOptions& opts,
     Cover R = irredundant(F, dc);
     R.make_scc();
     obs::counter_add("espresso.output_cubes", R.size());
+    contract_minimization_post(R, on, dc);
     return R;
   }
 
@@ -365,6 +384,7 @@ Cover espresso(const Cover& on, const Cover& dc, const EspressoOptions& opts,
   F.add_all(E);
   F.make_scc();
   obs::counter_add("espresso.output_cubes", F.size());
+  contract_minimization_post(F, on, dc);
   (void)spec;
   return F;
 }

@@ -8,9 +8,10 @@
 // (inputs..., output-index j) is exactly multi-output minimization).
 #pragma once
 
-#include <cassert>
 #include <numeric>
 #include <vector>
+
+#include "check/contract.hpp"
 
 namespace nova::logic {
 
@@ -21,7 +22,7 @@ class CubeSpec {
     offsets_.reserve(sizes_.size() + 1);
     int off = 0;
     for (int s : sizes_) {
-      assert(s >= 1);
+      NOVA_CONTRACT(cheap, s >= 1, "variable size must be >= 1");
       offsets_.push_back(off);
       off += s;
     }
@@ -39,7 +40,8 @@ class CubeSpec {
 
   /// Bit position of value `k` of variable `v`.
   int bit(int v, int k) const {
-    assert(k >= 0 && k < sizes_[v]);
+    NOVA_CONTRACT(paranoid, k >= 0 && k < sizes_[v],
+                  "value index out of range for variable");
     return offsets_[v] + k;
   }
 

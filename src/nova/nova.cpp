@@ -2,6 +2,8 @@
 
 #include <optional>
 
+#include "check/check.hpp"
+#include "check/contract.hpp"
 #include "constraints/input_constraints.hpp"
 #include "constraints/symbolic_min.hpp"
 #include "encoding/embed.hpp"
@@ -93,7 +95,13 @@ EvalResult evaluate_encoding(const fsm::Fsm& fsm, const Encoding& enc,
   dc.add_all(logic::complement(specified));
   dc.make_scc();
 
+  if (check::active(check::levels::cheap)) {
+    check::check_cover(on, "evaluate_encoding on-set");
+  }
   ev.minimized = logic::espresso(on, dc, opts);
+  if (check::active(check::levels::paranoid)) {
+    check::check_espresso_post(ev.minimized, on, dc, "evaluate_encoding");
+  }
   ev.metrics.nbits = nb;
   ev.metrics.cubes = ev.minimized.size();
   ev.metrics.area = pla_area(ni, nb, no, ev.metrics.cubes);
@@ -164,6 +172,9 @@ NovaResult encode_fsm(const fsm::Fsm& fsm, const NovaOptions& opts) {
   util::Rng rng(opts.seed);
   {
     obs::Span run_span("nova.run", &res.phases.total);
+    if (check::active(check::levels::cheap)) {
+      check::check_fsm(fsm, "encode_fsm input");
+    }
 
     // --- extract: input constraints / symbolic minimization -------------
     std::vector<InputConstraint> ics;
@@ -262,6 +273,10 @@ NovaResult encode_fsm(const fsm::Fsm& fsm, const NovaOptions& opts) {
       if (opts.polish && polishable) {
         obs::Span span("nova.polish", &res.phases.polish);
         encoding::polish_encoding(res.enc, ics);
+      }
+
+      if (check::active(check::levels::paranoid)) {
+        check::check_encoding(res.enc, n, ics, "encode_fsm result");
       }
 
       auto sat = encoding::summarize_satisfaction(res.enc, ics);

@@ -27,15 +27,24 @@ VerifyResult verify_encoding(const fsm::Fsm& fsm, const Encoding& enc,
     }
     if (ncode != enc.codes[ref->first]) {
       res.equivalent = false;
+      std::string got_code(enc.nbits, '0');  // MSB-first like code_string()
+      for (int b = 0; b < enc.nbits; ++b)
+        got_code[enc.nbits - 1 - b] = got[b];
       res.detail = "next-state mismatch at step " + std::to_string(i) +
-                   " from " + fsm.state_name(state) + " input " + in;
+                   " on transition " + fsm.state_name(state) + " --" + in +
+                   "--> " + fsm.state_name(ref->first) + ": expected code " +
+                   enc.code_string(ref->first) + ", PLA produced " + got_code;
       return res;
     }
     for (int j = 0; j < fsm.num_outputs(); ++j) {
       if (ref->second[j] != '-' && got[enc.nbits + j] != ref->second[j]) {
         res.equivalent = false;
         res.detail = "output " + std::to_string(j) + " mismatch at step " +
-                     std::to_string(i) + " from " + fsm.state_name(state);
+                     std::to_string(i) + " on transition " +
+                     fsm.state_name(state) + " --" + in + "--> " +
+                     fsm.state_name(ref->first) + ": expected '" +
+                     ref->second[j] + "', PLA produced '" +
+                     got[enc.nbits + j] + "'";
         return res;
       }
     }

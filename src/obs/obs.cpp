@@ -7,8 +7,8 @@ namespace nova::obs {
 
 namespace detail {
 
-thread_local Report* tl_report = nullptr;
-thread_local SpanNode* tl_current = nullptr;
+thread_local constinit Report* tl_report = nullptr;
+thread_local constinit SpanNode* tl_current = nullptr;
 
 SpanNode* span_begin(const char* name) {
   Report* r = tl_report;

@@ -40,9 +40,12 @@ struct SpanNode {
 
 namespace detail {
 // Active collector of the current thread (null = tracing disabled) and the
-// innermost open span node.
-extern thread_local Report* tl_report;
-extern thread_local SpanNode* tl_current;
+// innermost open span node. constinit guarantees static initialization,
+// which lets the compiler access the TLS slot directly instead of going
+// through the dynamic-init wrapper (GCC's wrapper also trips a UBSan
+// -fsanitize=null false positive on extern thread_local).
+extern thread_local constinit Report* tl_report;
+extern thread_local constinit SpanNode* tl_current;
 SpanNode* span_begin(const char* name);
 void span_end(SpanNode* node, double seconds);
 void counter_add_slow(const char* name, long delta);

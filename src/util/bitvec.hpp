@@ -1,15 +1,18 @@
 // Dynamic fixed-width bit vector used for state sets and cube storage.
 //
 // A BitVec owns `nbits` bits packed into 64-bit words. All bitwise
-// operations require operands of the same width; this is asserted in
-// debug builds. Bits beyond `nbits` in the last word are kept zero as a
+// operations require operands of the same width; this is enforced by
+// NOVA_CONTRACT checks (cheap level for whole-vector operations, paranoid
+// for per-bit accessors). Bits beyond `nbits` in the last word are kept
+// zero as a
 // class invariant, so word-level comparisons and popcounts are exact.
 #pragma once
 
-#include <cassert>
 #include <cstdint>
 #include <string>
 #include <vector>
+
+#include "check/contract.hpp"
 
 namespace nova::util {
 
@@ -17,14 +20,15 @@ class BitVec {
  public:
   BitVec() = default;
   explicit BitVec(int nbits) : nbits_(nbits), words_((nbits + 63) / 64, 0) {
-    assert(nbits >= 0);
+    NOVA_CONTRACT(cheap, nbits >= 0, "negative BitVec width");
   }
 
   /// Builds a BitVec from a 0/1 string, e.g. "1010". str[0] is bit 0.
   static BitVec from_string(const std::string& s) {
     BitVec v(static_cast<int>(s.size()));
     for (int i = 0; i < static_cast<int>(s.size()); ++i) {
-      assert(s[i] == '0' || s[i] == '1');
+      NOVA_CONTRACT(cheap, s[i] == '0' || s[i] == '1',
+                    "BitVec string must be over 0/1");
       if (s[i] == '1') v.set(i);
     }
     return v;
@@ -34,15 +38,15 @@ class BitVec {
   bool empty_width() const { return nbits_ == 0; }
 
   bool get(int i) const {
-    assert(i >= 0 && i < nbits_);
+    NOVA_CONTRACT(paranoid, i >= 0 && i < nbits_, "bit index out of range");
     return (words_[i >> 6] >> (i & 63)) & 1u;
   }
   void set(int i) {
-    assert(i >= 0 && i < nbits_);
+    NOVA_CONTRACT(paranoid, i >= 0 && i < nbits_, "bit index out of range");
     words_[i >> 6] |= (uint64_t{1} << (i & 63));
   }
   void clear(int i) {
-    assert(i >= 0 && i < nbits_);
+    NOVA_CONTRACT(paranoid, i >= 0 && i < nbits_, "bit index out of range");
     words_[i >> 6] &= ~(uint64_t{1} << (i & 63));
   }
   void assign(int i, bool v) { v ? set(i) : clear(i); }
@@ -91,23 +95,23 @@ class BitVec {
   }
 
   BitVec& operator&=(const BitVec& o) {
-    assert(nbits_ == o.nbits_);
+    NOVA_CONTRACT(cheap, nbits_ == o.nbits_, "BitVec width mismatch");
     for (size_t i = 0; i < words_.size(); ++i) words_[i] &= o.words_[i];
     return *this;
   }
   BitVec& operator|=(const BitVec& o) {
-    assert(nbits_ == o.nbits_);
+    NOVA_CONTRACT(cheap, nbits_ == o.nbits_, "BitVec width mismatch");
     for (size_t i = 0; i < words_.size(); ++i) words_[i] |= o.words_[i];
     return *this;
   }
   BitVec& operator^=(const BitVec& o) {
-    assert(nbits_ == o.nbits_);
+    NOVA_CONTRACT(cheap, nbits_ == o.nbits_, "BitVec width mismatch");
     for (size_t i = 0; i < words_.size(); ++i) words_[i] ^= o.words_[i];
     return *this;
   }
   /// Removes from *this every bit set in `o`.
   BitVec& subtract(const BitVec& o) {
-    assert(nbits_ == o.nbits_);
+    NOVA_CONTRACT(cheap, nbits_ == o.nbits_, "BitVec width mismatch");
     for (size_t i = 0; i < words_.size(); ++i) words_[i] &= ~o.words_[i];
     return *this;
   }
@@ -132,14 +136,14 @@ class BitVec {
 
   /// True iff every bit of `o` is also set in *this.
   bool contains(const BitVec& o) const {
-    assert(nbits_ == o.nbits_);
+    NOVA_CONTRACT(cheap, nbits_ == o.nbits_, "BitVec width mismatch");
     for (size_t i = 0; i < words_.size(); ++i) {
       if ((words_[i] & o.words_[i]) != o.words_[i]) return false;
     }
     return true;
   }
   bool intersects(const BitVec& o) const {
-    assert(nbits_ == o.nbits_);
+    NOVA_CONTRACT(cheap, nbits_ == o.nbits_, "BitVec width mismatch");
     for (size_t i = 0; i < words_.size(); ++i) {
       if ((words_[i] & o.words_[i]) != 0) return true;
     }

@@ -1,0 +1,210 @@
+// The contract framework (levels, macro behavior, violation reporting) and
+// the deep structural validators of src/check.
+#include <gtest/gtest.h>
+
+#include "bench_data/benchmarks.hpp"
+#include "check/check.hpp"
+#include "check/contract.hpp"
+#include "logic/cover.hpp"
+#include "logic/espresso.hpp"
+#include "nova/nova.hpp"
+#include "obs/obs.hpp"
+
+namespace check = nova::check;
+using check::ContractViolation;
+using check::Level;
+using check::ScopedLevel;
+using nova::logic::Cover;
+using nova::logic::Cube;
+using nova::logic::CubeSpec;
+
+TEST(ContractLevel, ParseAcceptsNamesAndDigits) {
+  EXPECT_EQ(check::parse_level("off", Level::kCheap), Level::kOff);
+  EXPECT_EQ(check::parse_level("cheap", Level::kOff), Level::kCheap);
+  EXPECT_EQ(check::parse_level("paranoid", Level::kOff), Level::kParanoid);
+  EXPECT_EQ(check::parse_level("0", Level::kCheap), Level::kOff);
+  EXPECT_EQ(check::parse_level("1", Level::kOff), Level::kCheap);
+  EXPECT_EQ(check::parse_level("2", Level::kOff), Level::kParanoid);
+  EXPECT_EQ(check::parse_level("bogus", Level::kCheap), Level::kCheap);
+}
+
+TEST(ContractLevel, ScopedLevelRestoresAndClamps) {
+  const Level before = check::level();
+  {
+    ScopedLevel s(Level::kParanoid);
+    EXPECT_LE(static_cast<int>(check::level()),
+              static_cast<int>(check::kCompiledMax));
+    EXPECT_TRUE(check::active(Level::kCheap));
+  }
+  EXPECT_EQ(check::level(), before);
+}
+
+TEST(Contract, FiresAtOrBelowActiveLevel) {
+  ScopedLevel s(Level::kCheap);
+  EXPECT_NO_THROW(NOVA_CONTRACT(cheap, true, "fine"));
+  EXPECT_THROW(NOVA_CONTRACT(cheap, 1 == 2, "must fire"), ContractViolation);
+  // Paranoid contracts stay dormant at the cheap level.
+  EXPECT_NO_THROW(NOVA_CONTRACT(paranoid, false, "dormant"));
+}
+
+TEST(Contract, OffLevelDisablesEverything) {
+  ScopedLevel s(Level::kOff);
+  EXPECT_NO_THROW(NOVA_CONTRACT(cheap, false, "dormant"));
+  EXPECT_NO_THROW(NOVA_CONTRACT(paranoid, false, "dormant"));
+}
+
+TEST(Contract, MessageEvaluatedOnlyOnFailure) {
+  ScopedLevel s(Level::kCheap);
+  int evals = 0;
+  auto msg = [&] {
+    ++evals;
+    return std::string("built");
+  };
+  NOVA_CONTRACT(cheap, true, msg());
+  EXPECT_EQ(evals, 0);
+  EXPECT_THROW(NOVA_CONTRACT(cheap, false, msg()), ContractViolation);
+  EXPECT_EQ(evals, 1);
+}
+
+TEST(Contract, ViolationCarriesLocationAndExpression) {
+  ScopedLevel s(Level::kCheap);
+  try {
+    NOVA_CONTRACT(cheap, 2 + 2 == 5, "arithmetic is safe");
+    FAIL() << "contract did not fire";
+  } catch (const ContractViolation& e) {
+    EXPECT_NE(e.file().find("test_check.cpp"), std::string::npos);
+    EXPECT_GT(e.line(), 0);
+    const std::string what = e.what();
+    EXPECT_NE(what.find("arithmetic is safe"), std::string::npos);
+    EXPECT_NE(what.find("2 + 2 == 5"), std::string::npos);
+  }
+}
+
+TEST(Contract, ViolationsCounterBumpsUnderTraceSession) {
+  ScopedLevel s(Level::kCheap);
+  nova::obs::Report report;
+  {
+    nova::obs::TraceSession session(report);
+    EXPECT_THROW(NOVA_CONTRACT(cheap, false, "counted"), ContractViolation);
+    EXPECT_THROW(NOVA_CONTRACT(cheap, false, "counted"), ContractViolation);
+  }
+  EXPECT_EQ(report.counter("check.violations"), 2);
+}
+
+// ---------------------------------------------------------------------------
+// Deep validators. They check unconditionally when called, so no ScopedLevel
+// is needed to exercise them.
+
+TEST(CheckFsm, AcceptsBenchmarksAndRejectsBadReset) {
+  nova::fsm::Fsm fsm = nova::bench_data::load_benchmark("lion");
+  EXPECT_NO_THROW(check::check_fsm(fsm, "test"));
+  fsm.set_reset_state(99);
+  EXPECT_THROW(check::check_fsm(fsm, "test"), ContractViolation);
+}
+
+TEST(CheckFsm, RejectsDuplicateStateNames) {
+  nova::fsm::Fsm fsm(1, 1);
+  fsm.intern_state("a");
+  fsm.intern_state("b");
+  EXPECT_NO_THROW(check::check_fsm(fsm, "test"));
+  // intern_state dedups, so collide through the public seam used by I/O:
+  // two distinct indices can only alias via direct construction; simulate
+  // with a second machine whose rows force the same name twice is not
+  // possible, so this guard is exercised via the reset/range checks above
+  // and the pattern checks below.
+  nova::fsm::Fsm bad(2, 1);
+  bad.intern_state("a");
+  EXPECT_THROW(bad.add_transition("0", "a", "a", "1"), std::invalid_argument);
+}
+
+TEST(CheckCover, FlagsCorruptedCubes) {
+  CubeSpec spec({2, 2});
+  Cover f(spec);
+  f.add(Cube::full(spec));
+  EXPECT_NO_THROW(check::check_cover(f, "test"));
+  // Empty out one variable part in place (add() would have dropped it).
+  f[0].clear(spec.bit(0, 0));
+  f[0].clear(spec.bit(0, 1));
+  EXPECT_THROW(check::check_cover(f, "test"), ContractViolation);
+}
+
+TEST(CheckEncoding, AcceptsGoodAndRejectsBrokenEncodings) {
+  nova::encoding::Encoding enc;
+  enc.nbits = 2;
+  enc.codes = {0, 1, 2, 3};
+  std::vector<nova::constraints::InputConstraint> ics = {
+      nova::constraints::make_constraint("1100", 1),
+      nova::constraints::make_constraint("0011", 2)};
+  EXPECT_NO_THROW(check::check_encoding(enc, 4, ics, "test"));
+
+  auto dup = enc;
+  dup.codes[3] = 0;
+  EXPECT_THROW(check::check_encoding(dup, 4, ics, "test"), ContractViolation);
+
+  auto wide = enc;
+  wide.codes[2] = 7;  // does not fit in 2 bits
+  EXPECT_THROW(check::check_encoding(wide, 4, ics, "test"), ContractViolation);
+
+  auto short_codes = enc;
+  short_codes.codes.pop_back();
+  EXPECT_THROW(check::check_encoding(short_codes, 4, ics, "test"),
+               ContractViolation);
+
+  auto zero_bits = enc;
+  zero_bits.nbits = 0;
+  EXPECT_THROW(check::check_encoding(zero_bits, 4, ics, "test"),
+               ContractViolation);
+}
+
+TEST(CheckEncoding, OutputConstraintChecks) {
+  nova::encoding::Encoding enc;
+  enc.nbits = 2;
+  enc.codes = {3, 1, 0};
+  std::vector<nova::constraints::InputConstraint> ics;
+  std::vector<nova::constraints::OutputConstraint> ocs = {{0, 1}};
+  EXPECT_NO_THROW(check::check_encoding(enc, 3, ics, ocs, "test"));
+  std::vector<nova::constraints::OutputConstraint> self = {{1, 1}};
+  EXPECT_THROW(check::check_encoding(enc, 3, ics, self, "test"),
+               ContractViolation);
+  std::vector<nova::constraints::OutputConstraint> oob = {{0, 9}};
+  EXPECT_THROW(check::check_encoding(enc, 3, ics, oob, "test"),
+               ContractViolation);
+}
+
+TEST(CheckEspressoPost, AcceptsRealRunsAndCatchesCorruption) {
+  CubeSpec spec = CubeSpec::binary(3);
+  Cover on(spec), dc(spec);
+  auto add_row = [&](Cover& c, const std::string& row) {
+    Cube q = Cube::full(spec);
+    q.set_binary_from_pla(spec, 0, row);
+    c.add(q);
+  };
+  add_row(on, "000");
+  add_row(on, "001");
+  add_row(on, "011");
+  add_row(dc, "111");
+  Cover g = nova::logic::espresso(on, dc);
+  EXPECT_NO_THROW(check::check_espresso_post(g, on, dc, "test"));
+
+  // Dropping a cube loses on-set coverage.
+  Cover missing(spec);
+  for (int i = 1; i < g.size(); ++i) missing.add(g[i]);
+  EXPECT_THROW(check::check_espresso_post(missing, on, dc, "test"),
+               ContractViolation);
+
+  // Adding the whole space intersects the off-set.
+  Cover bloated = g;
+  bloated.add(Cube::full(spec));
+  EXPECT_THROW(check::check_espresso_post(bloated, on, dc, "test"),
+               ContractViolation);
+}
+
+TEST(CheckIntegration, ParanoidEncodeRunsCleanOnBenchmarks) {
+  ScopedLevel s(Level::kParanoid);
+  for (const char* name : {"lion", "train11", "modulo12"}) {
+    nova::driver::NovaOptions opts;
+    auto res = nova::driver::encode_fsm(nova::bench_data::load_benchmark(name),
+                                        opts);
+    EXPECT_TRUE(res.success) << name;
+  }
+}

@@ -1,0 +1,193 @@
+// The lint engine behind the nova_check CLI: KISS2, PLA, and encoding
+// diagnostics, JSON rendering, and lint-cleanliness of the bundled corpus.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "bench_data/benchmarks.hpp"
+#include "check/lint.hpp"
+#include "fsm/kiss_io.hpp"
+#include "obs/json.hpp"
+
+namespace check = nova::check;
+using check::LintResult;
+using check::Severity;
+
+namespace {
+
+std::set<std::string> ids_of(const LintResult& r) {
+  std::set<std::string> ids;
+  for (const auto& d : r.diags) ids.insert(d.id);
+  return ids;
+}
+
+const char* kBadKiss = R"(# deliberately broken
+.i 2
+.o 1
+.s 4
+.p 9
+.r start
+1- start run 0
+1- start stop 1
+0x start start 0
+01 start run
+00 start start 0
+-- run run 0
+-- run run 0
+11 stop stop 2
+-- ghost stop 0
+.e
+)";
+
+}  // namespace
+
+TEST(LintKiss, CleanMachineHasNoDiagnostics) {
+  const char* text = R"(.i 1
+.o 1
+.s 2
+.p 4
+.r a
+0 a a 0
+1 a b 0
+0 b a 1
+1 b b 1
+.e
+)";
+  auto r = check::lint_kiss_text(text, "<good>");
+  EXPECT_TRUE(r.diags.empty());
+}
+
+TEST(LintKiss, BadFixtureFlagsManyDistinctClasses) {
+  auto r = check::lint_kiss_text(kBadKiss, "<bad>");
+  auto ids = ids_of(r);
+  // The acceptance bar is >= 4 distinct diagnostic classes.
+  EXPECT_GE(ids.size(), 4u) << "got " << ids.size() << " classes";
+  EXPECT_TRUE(ids.count("malformed-row"));
+  EXPECT_TRUE(ids.count("bad-literal"));
+  EXPECT_TRUE(ids.count("count-mismatch"));
+  EXPECT_TRUE(ids.count("conflicting-transitions"));
+  EXPECT_TRUE(ids.count("duplicate-transition"));
+  EXPECT_TRUE(ids.count("unreachable-state"));
+  EXPECT_TRUE(ids.count("dead-end-state"));
+  EXPECT_GT(r.errors(), 0);
+  EXPECT_GT(r.warnings(), 0);
+}
+
+TEST(LintKiss, DiagnosticsCarryFileAndLine) {
+  auto r = check::lint_kiss_text(kBadKiss, "bad.kiss");
+  bool found = false;
+  for (const auto& d : r.diags) {
+    if (d.id == "conflicting-transitions") {
+      found = true;
+      EXPECT_EQ(d.file, "bad.kiss");
+      EXPECT_EQ(d.line, 8);  // the second of the two overlapping rows
+      EXPECT_EQ(d.severity, Severity::kError);
+      EXPECT_NE(d.render().find("bad.kiss:8: error:"), std::string::npos);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(LintKiss, MissingHeaderStillLintsRows) {
+  auto r = check::lint_kiss_text("0 a b 1\n1z a a 0\n", "<nohdr>");
+  auto ids = ids_of(r);
+  EXPECT_TRUE(ids.count("missing-header"));
+  // Width inference from the first row keeps row checks alive.
+  EXPECT_TRUE(ids.count("width-mismatch") || ids.count("bad-literal"));
+}
+
+TEST(LintKiss, UnknownResetState) {
+  auto r = check::lint_kiss_text(
+      ".i 1\n.o 1\n.r nowhere\n0 a a 0\n1 a a 0\n", "<reset>");
+  EXPECT_TRUE(ids_of(r).count("unknown-state"));
+}
+
+TEST(LintKiss, UnusedInputColumn) {
+  auto r = check::lint_kiss_text(
+      ".i 2\n.o 1\n0- a b 0\n1- a a 0\n-- b b 1\n", "<unused>");
+  EXPECT_TRUE(ids_of(r).count("unused-input"));
+}
+
+TEST(LintKiss, BundledBenchmarksAreLintErrorFree) {
+  auto lint_all = [](const std::vector<nova::bench_data::BenchmarkInfo>& set) {
+    for (const auto& info : set) {
+      auto fsm = nova::bench_data::load_benchmark(info.name);
+      auto text = nova::fsm::write_kiss_string(fsm);
+      auto r = check::lint_kiss_text(text, info.name);
+      EXPECT_EQ(r.errors(), 0) << info.name << ": "
+                               << (r.diags.empty() ? ""
+                                                   : r.diags[0].render());
+    }
+  };
+  lint_all(nova::bench_data::table1_benchmarks());
+  lint_all(nova::bench_data::table5_extras());
+}
+
+TEST(LintPla, CleanCoverHasNoDiagnostics) {
+  auto r = check::lint_pla_text(".i 3\n.o 1\n.p 3\n11- 1\n1-1 1\n-11 1\n.e\n",
+                                "<pla>");
+  EXPECT_TRUE(r.diags.empty());
+}
+
+TEST(LintPla, FlagsSilentDropsAndDuplicates) {
+  const char* text = R"(.i 3
+.o 1
+.p 5
+11- 1
+11- 1
+1z0 1
+110 1
+00
+.e
+)";
+  auto r = check::lint_pla_text(text, "<pla>");
+  auto ids = ids_of(r);
+  EXPECT_TRUE(ids.count("duplicate-row"));
+  EXPECT_TRUE(ids.count("bad-literal"));  // 'z' is silently dropped by the reader
+  EXPECT_TRUE(ids.count("redundant-term"));  // 110 is inside 11-
+  EXPECT_TRUE(ids.count("malformed-row"));   // "00" lacks an output field
+  EXPECT_TRUE(ids.count("count-mismatch"));
+}
+
+TEST(LintPla, LabelMismatch) {
+  auto r = check::lint_pla_text(
+      ".i 2\n.o 1\n.ilb a b c\n.ob y\n01 1\n", "<pla>");
+  EXPECT_TRUE(ids_of(r).count("label-mismatch"));
+}
+
+TEST(LintEncoding, GoodBadAndMissingCodes) {
+  auto fsm = nova::fsm::parse_kiss_string(
+      ".i 1\n.o 1\n0 a a 0\n1 a b 0\n0 b a 1\n1 b b 1\n");
+  auto ok = check::lint_encoding_text(fsm, "a 0\nb 1\n", "<enc>");
+  EXPECT_EQ(ok.errors(), 0);
+
+  auto dup = check::lint_encoding_text(fsm, "a 0\nb 0\n", "<enc>");
+  EXPECT_TRUE(ids_of(dup).count("duplicate-code"));
+
+  auto unknown = check::lint_encoding_text(fsm, "a 0\nzz 1\n", "<enc>");
+  auto ids = ids_of(unknown);
+  EXPECT_TRUE(ids.count("unknown-state"));
+  EXPECT_TRUE(ids.count("missing-code"));
+
+  auto widths = check::lint_encoding_text(fsm, "a 00\nb 1\n", "<enc>");
+  EXPECT_TRUE(ids_of(widths).count("width-mismatch"));
+
+  auto junk = check::lint_encoding_text(fsm, "a 0x\nb 1\n", "<enc>");
+  EXPECT_TRUE(ids_of(junk).count("bad-literal"));
+}
+
+TEST(LintJson, ReportRoundTrips) {
+  auto r = check::lint_kiss_text(kBadKiss, "bad.kiss");
+  std::string dumped = check::lint_to_json(r).dump(2);
+  std::string err;
+  auto parsed = nova::obs::Json::parse(dumped, &err);
+  ASSERT_TRUE(parsed.has_value()) << err;
+  EXPECT_EQ(parsed->find("version")->as_long(), 1);
+  EXPECT_EQ(parsed->find("errors")->as_long(), r.errors());
+  EXPECT_EQ(parsed->find("warnings")->as_long(), r.warnings());
+  const auto& diags = parsed->find("diagnostics")->as_array();
+  ASSERT_EQ(diags.size(), r.diags.size());
+  EXPECT_EQ(diags[0].find("id")->as_string(), r.diags[0].id);
+  EXPECT_EQ(diags[0].find("file")->as_string(), "bad.kiss");
+}

@@ -18,6 +18,14 @@ namespace {
 std::atomic<long> g_allocs{0};
 }
 
+// The replacements below pair operator new with malloc and operator delete
+// with free, which is consistent — but once sanitizer instrumentation
+// changes inlining, GCC pairs a caller's `new` with the inlined `free` and
+// raises -Wmismatched-new-delete. Suppress the false positive.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+#endif
+
 void* operator new(std::size_t n) {
   g_allocs.fetch_add(1, std::memory_order_relaxed);
   if (void* p = std::malloc(n ? n : 1)) return p;

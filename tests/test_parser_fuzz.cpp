@@ -1,0 +1,160 @@
+// Deterministic malformed-input corpus for the KISS2 and PLA parsers: every
+// input must either parse or raise std::runtime_error / std::invalid_argument
+// with a useful message -- never crash, hang, or corrupt memory. The CI
+// sanitizer job runs this suite under ASan+UBSan.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "fsm/kiss_io.hpp"
+#include "logic/pla_io.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+/// Feeds `text` to the parser; passes iff it returns normally or throws one
+/// of the documented exception types.
+template <typename Parse>
+::testing::AssertionResult graceful(Parse parse, const std::string& text) {
+  try {
+    parse(text);
+    return ::testing::AssertionSuccess();
+  } catch (const std::runtime_error&) {
+    return ::testing::AssertionSuccess();
+  } catch (const std::invalid_argument&) {
+    return ::testing::AssertionSuccess();
+  } catch (const std::exception& e) {
+    return ::testing::AssertionFailure()
+           << "undocumented exception type: " << e.what();
+  }
+}
+
+void parse_kiss(const std::string& s) { nova::fsm::parse_kiss_string(s); }
+void parse_pla(const std::string& s) { nova::logic::parse_pla_string(s); }
+
+const std::vector<std::string>& kiss_corpus() {
+  static const std::vector<std::string> corpus = {
+      "",
+      "\n\n\n",
+      "# only a comment\n",
+      ".i\n",
+      ".i -3\n.o 1\n",
+      ".i 1\n.o\n",
+      ".i 1\n.o 1\n",
+      ".i 1\n.o 1\n0 a\n",
+      ".i 1\n.o 1\n0 a b\n",
+      ".i 1\n.o 1\n0 a b 0 extra\n",
+      ".i 2\n.o 1\n0 a b 0\n",       // input narrower than .i
+      ".i 1\n.o 2\n0 a b 0\n",       // output narrower than .o
+      ".i 1\n.o 1\nq a b 0\n",       // bad input literal
+      ".i 1\n.o 1\n0 a b 7\n",       // bad output literal
+      ".i 1\n.o 1\n.p x\n0 a b 0\n",
+      ".i 1\n.o 1\n.s -1\n0 a b 0\n",
+      ".i 1\n.o 1\n.r\n0 a b 0\n",
+      ".i 1\n.o 1\n.r ghost\n0 a b 0\n",
+      ".i 1\n.o 1\n0 * * 0\n",
+      ".i 1\n.o 1\n.e\n0 a b 0\n",   // rows after the terminator
+      ".i 99999999\n.o 1\n0 a b 0\n",
+      ".i 1\n.o 1\n\x01\x02\x03 a b 0\n",
+      std::string(".i 1\n.o 1\n0 a b 0\n") + std::string(4096, 'x'),
+      std::string("\0\0\0", 3),
+  };
+  return corpus;
+}
+
+const std::vector<std::string>& pla_corpus() {
+  static const std::vector<std::string> corpus = {
+      "",
+      ".i\n",
+      ".i 2\n.o\n",
+      ".i 2\n.o 1\n",
+      ".i 2\n.o 1\n01\n",            // missing output field
+      ".i 2\n.o 1\n011 1\n",         // too-wide input
+      ".i 2\n.o 1\n01 11\n",         // too-wide output
+      ".i 2\n.o 1\nzz 1\n",          // junk literals
+      ".i 2\n.o 1\n01 q\n",
+      ".i 2\n.o 1\n.p nope\n01 1\n",
+      ".i 2\n.o 1\n.type xyz\n01 1\n",
+      ".i -1\n.o 1\n01 1\n",
+      ".o 1\n01 1\n",
+      ".i 2\n01 1\n",
+      std::string("\xff\xfe junk", 7),
+  };
+  return corpus;
+}
+
+}  // namespace
+
+TEST(ParserFuzz, KissCorpusNeverCrashes) {
+  for (const auto& text : kiss_corpus()) {
+    EXPECT_TRUE(graceful(parse_kiss, text))
+        << "input: " << testing::PrintToString(text);
+  }
+}
+
+TEST(ParserFuzz, PlaCorpusNeverCrashes) {
+  for (const auto& text : pla_corpus()) {
+    EXPECT_TRUE(graceful(parse_pla, text))
+        << "input: " << testing::PrintToString(text);
+  }
+}
+
+// Seeded random mutations of a valid machine: truncations, deletions, and
+// byte substitutions. Deterministic across runs (fixed seed, fixed count).
+TEST(ParserFuzz, MutatedKissNeverCrashes) {
+  const std::string base =
+      ".i 2\n.o 2\n.s 3\n.p 4\n.r a\n"
+      "0- a b 01\n1- a c 10\n-- b a 00\n-1 c c 11\n.e\n";
+  ASSERT_NO_THROW(nova::fsm::parse_kiss_string(base));
+  nova::util::Rng rng(2024);
+  const std::string alphabet = "01-.*aeiprsx \n\t";
+  for (int trial = 0; trial < 500; ++trial) {
+    std::string t = base;
+    const int edits = 1 + rng.uniform(6);
+    for (int e = 0; e < edits && !t.empty(); ++e) {
+      const int pos = rng.uniform(static_cast<int>(t.size()));
+      switch (rng.uniform(3)) {
+        case 0:
+          t[pos] = alphabet[rng.uniform(static_cast<int>(alphabet.size()))];
+          break;
+        case 1:
+          t.erase(pos, 1 + rng.uniform(4));
+          break;
+        default:
+          t.resize(pos);  // truncation
+          break;
+      }
+    }
+    EXPECT_TRUE(graceful(parse_kiss, t)) << "trial " << trial;
+  }
+}
+
+TEST(ParserFuzz, MutatedPlaNeverCrashes) {
+  const std::string base =
+      ".i 3\n.o 2\n.p 4\n.ilb x y z\n.ob f g\n"
+      "11- 10\n1-1 01\n-11 1-\n000 0-\n.e\n";
+  ASSERT_NO_THROW(nova::logic::parse_pla_string(base));
+  nova::util::Rng rng(4096);
+  const std::string alphabet = "01-2x.~fgp \n";
+  for (int trial = 0; trial < 500; ++trial) {
+    std::string t = base;
+    const int edits = 1 + rng.uniform(6);
+    for (int e = 0; e < edits && !t.empty(); ++e) {
+      const int pos = rng.uniform(static_cast<int>(t.size()));
+      switch (rng.uniform(3)) {
+        case 0:
+          t[pos] = alphabet[rng.uniform(static_cast<int>(alphabet.size()))];
+          break;
+        case 1:
+          t.erase(pos, 1 + rng.uniform(4));
+          break;
+        default:
+          t.resize(pos);
+          break;
+      }
+    }
+    EXPECT_TRUE(graceful(parse_pla, t)) << "trial " << trial;
+  }
+}

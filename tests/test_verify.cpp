@@ -1,0 +1,94 @@
+// Failure paths of verify_encoding: a corrupted code or minimized cover
+// must be caught, and the mismatch detail must name the offending
+// transition.
+#include <gtest/gtest.h>
+
+#include "fsm/kiss_io.hpp"
+#include "nova/nova.hpp"
+#include "nova/verify.hpp"
+
+using nova::driver::EvalResult;
+using nova::driver::VerifyOptions;
+using nova::driver::verify_encoding;
+using nova::encoding::Encoding;
+
+namespace {
+
+nova::fsm::Fsm two_state_machine() {
+  return nova::fsm::parse_kiss_string(
+      ".i 1\n.o 1\n.r a\n0 a a 0\n1 a b 0\n0 b a 1\n1 b b 1\n");
+}
+
+}  // namespace
+
+TEST(Verify, ConsistentEncodingIsEquivalent) {
+  auto fsm = two_state_machine();
+  Encoding enc;
+  enc.nbits = 1;
+  enc.codes = {0, 1};
+  auto res = verify_encoding(fsm, enc);
+  EXPECT_TRUE(res.equivalent) << res.detail;
+  EXPECT_GT(res.steps_run, 0);
+  EXPECT_TRUE(res.detail.empty());
+}
+
+TEST(Verify, CorruptedCodeBitNamesTheTransition) {
+  auto fsm = two_state_machine();
+  Encoding enc;
+  enc.nbits = 1;
+  enc.codes = {0, 1};
+  EvalResult ev = nova::driver::evaluate_encoding(fsm, enc);
+
+  // Swap the codes under the PLA's feet: the first specified step mismatches.
+  Encoding corrupt = enc;
+  corrupt.codes = {1, 0};
+  auto res = verify_encoding(fsm, corrupt, ev);
+  ASSERT_FALSE(res.equivalent);
+  EXPECT_NE(res.detail.find("next-state mismatch"), std::string::npos)
+      << res.detail;
+  // The detail names the offending transition endpoints and both codes.
+  EXPECT_NE(res.detail.find("-->"), std::string::npos) << res.detail;
+  EXPECT_NE(res.detail.find("expected code"), std::string::npos) << res.detail;
+  EXPECT_NE(res.detail.find("PLA produced"), std::string::npos) << res.detail;
+  EXPECT_TRUE(res.detail.find(" a ") != std::string::npos ||
+              res.detail.find(" b ") != std::string::npos)
+      << res.detail;
+}
+
+TEST(Verify, CorruptedOutputColumnNamesOutputAndTransition) {
+  auto fsm = nova::fsm::parse_kiss_string(
+      ".i 1\n.o 1\n.r s\n0 s s 1\n1 s s 1\n");
+  Encoding enc;
+  enc.nbits = 1;
+  enc.codes = {0};
+  EvalResult ev = nova::driver::evaluate_encoding(fsm, enc);
+  ASSERT_TRUE(verify_encoding(fsm, enc, ev).equivalent);
+
+  // Clear the primary-output bit in every minimized cube: the PLA now
+  // produces 0 where the table demands 1.
+  const auto& spec = ev.spec;
+  const int ov = spec.num_vars() - 1;
+  for (int i = 0; i < ev.minimized.size(); ++i) {
+    ev.minimized[i].clear(spec.bit(ov, enc.nbits + 0));
+  }
+  auto res = verify_encoding(fsm, enc, ev);
+  ASSERT_FALSE(res.equivalent);
+  EXPECT_NE(res.detail.find("output 0 mismatch"), std::string::npos)
+      << res.detail;
+  EXPECT_NE(res.detail.find("transition s"), std::string::npos) << res.detail;
+  EXPECT_NE(res.detail.find("expected '1'"), std::string::npos) << res.detail;
+}
+
+TEST(Verify, DroppedTransitionCubeIsCaught) {
+  auto fsm = two_state_machine();
+  Encoding enc;
+  enc.nbits = 1;
+  enc.codes = {0, 1};
+  EvalResult ev = nova::driver::evaluate_encoding(fsm, enc);
+  // Empty the implementation entirely: every visited transition whose next
+  // state or outputs need a 1 must now mismatch.
+  ev.minimized = nova::logic::Cover(ev.spec);
+  auto res = verify_encoding(fsm, enc, ev);
+  EXPECT_FALSE(res.equivalent);
+  EXPECT_FALSE(res.detail.empty());
+}

@@ -1,0 +1,152 @@
+// nova_check: static lint for KISS2 state tables, PLA covers and completed
+// encodings.
+//
+//   nova_check [options] <file>...
+//
+//   --json            machine-readable report on stdout
+//   --werror          treat warnings as errors for the exit code
+//   --constraints     also extract constraints and flag unsatisfiable sets
+//   --encoding FILE   lint FILE ("<state> <code>" lines) against the single
+//                     KISS2 input
+//   --format kiss|pla force the input format (default: by extension, then
+//                     content sniffing)
+//
+// Exit codes: 0 = no error diagnostics (warnings allowed unless --werror),
+// 1 = at least one error diagnostic, 2 = bad usage or unreadable file.
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "check/lint.hpp"
+#include "fsm/kiss_io.hpp"
+
+namespace {
+
+using nova::check::LintOptions;
+using nova::check::LintResult;
+using nova::check::Severity;
+
+int usage(const char* argv0) {
+  std::cerr << "usage: " << argv0
+            << " [--json] [--werror] [--constraints] [--format kiss|pla]"
+               " [--encoding CODES] <file>...\n";
+  return 2;
+}
+
+bool read_file(const std::string& path, std::string* out) {
+  std::ifstream f(path);
+  if (!f) return false;
+  std::ostringstream ss;
+  ss << f.rdbuf();
+  *out = ss.str();
+  return true;
+}
+
+/// "kiss" or "pla", by extension first, then content: PLA cube rows have
+/// two fields, KISS transition rows have four.
+std::string detect_format(const std::string& path, const std::string& text) {
+  auto ends_with = [&](const std::string& suf) {
+    return path.size() >= suf.size() &&
+           path.compare(path.size() - suf.size(), suf.size(), suf) == 0;
+  };
+  if (ends_with(".kiss") || ends_with(".kiss2")) return "kiss";
+  if (ends_with(".pla")) return "pla";
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    auto hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    std::istringstream ss(line);
+    std::string tok;
+    if (!(ss >> tok)) continue;
+    if (tok == ".type" || tok == ".ilb" || tok == ".ob") return "pla";
+    if (tok == ".r" || tok == ".s") return "kiss";
+    if (tok[0] == '.') continue;
+    int fields = 1;
+    while (ss >> tok) ++fields;
+    return fields >= 4 ? "kiss" : "pla";
+  }
+  return "kiss";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool json = false, werror = false;
+  std::string force_format, encoding_path;
+  LintOptions opts;
+  std::vector<std::string> files;
+  for (int i = 1; i < argc; ++i) {
+    std::string a = argv[i];
+    if (a == "--json") {
+      json = true;
+    } else if (a == "--werror") {
+      werror = true;
+    } else if (a == "--constraints") {
+      opts.analyze_constraints = true;
+    } else if (a == "--format") {
+      if (++i >= argc) return usage(argv[0]);
+      force_format = argv[i];
+      if (force_format != "kiss" && force_format != "pla")
+        return usage(argv[0]);
+    } else if (a == "--encoding") {
+      if (++i >= argc) return usage(argv[0]);
+      encoding_path = argv[i];
+    } else if (a == "--help" || a == "-h") {
+      usage(argv[0]);
+      return 0;
+    } else if (!a.empty() && a[0] == '-') {
+      std::cerr << "unknown option: " << a << "\n";
+      return usage(argv[0]);
+    } else {
+      files.push_back(a);
+    }
+  }
+  if (files.empty()) return usage(argv[0]);
+  if (!encoding_path.empty() && files.size() != 1) {
+    std::cerr << "--encoding requires exactly one KISS2 input file\n";
+    return 2;
+  }
+
+  LintResult all;
+  for (const auto& path : files) {
+    std::string text;
+    if (!read_file(path, &text)) {
+      std::cerr << "cannot read " << path << "\n";
+      return 2;
+    }
+    const std::string fmt =
+        force_format.empty() ? detect_format(path, text) : force_format;
+    LintResult r = fmt == "pla" ? nova::check::lint_pla_text(text, path)
+                                : nova::check::lint_kiss_text(text, path, opts);
+    all.diags.insert(all.diags.end(), r.diags.begin(), r.diags.end());
+
+    if (!encoding_path.empty()) {
+      if (r.errors() > 0) {
+        std::cerr << path << ": not linting encoding against a broken FSM\n";
+      } else {
+        std::string codes;
+        if (!read_file(encoding_path, &codes)) {
+          std::cerr << "cannot read " << encoding_path << "\n";
+          return 2;
+        }
+        nova::fsm::Fsm fsm = nova::fsm::parse_kiss_string(text, path);
+        LintResult e =
+            nova::check::lint_encoding_text(fsm, codes, encoding_path);
+        all.diags.insert(all.diags.end(), e.diags.begin(), e.diags.end());
+      }
+    }
+  }
+
+  if (json) {
+    std::cout << nova::check::lint_to_json(all).dump(2) << "\n";
+  } else {
+    for (const auto& d : all.diags) std::cout << d.render() << "\n";
+    std::cout << files.size() << " file(s): " << all.errors() << " error(s), "
+              << all.warnings() << " warning(s)\n";
+  }
+  const bool bad = all.errors() > 0 || (werror && all.warnings() > 0);
+  return bad ? 1 : 0;
+}
