@@ -1,13 +1,23 @@
 #include "bench_common.hpp"
 
+#include <sys/utsname.h>
+#include <unistd.h>
+
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <functional>
 #include <mutex>
+#include <sstream>
+#include <thread>
 
 #include "encoding/embed.hpp"
 #include "encoding/polish.hpp"
+
+#ifndef NOVA_GIT_SHA
+#define NOVA_GIT_SHA "unknown"
+#endif
 
 namespace nova::bench {
 
@@ -50,7 +60,128 @@ void write_trajectory() {
   std::fprintf(stderr, "obs: wrote %zu trajectory entries to %s\n",
                t.entries.size(), path.c_str());
 }
+struct PerfEntry {
+  std::string name;
+  double seconds = 0.0;
+};
+
+struct PerfRegistry {
+  std::mutex mu;
+  std::vector<PerfEntry> entries;
+  bool exit_hook_registered = false;
+};
+
+PerfRegistry& perf_registry() {
+  static PerfRegistry r;
+  return r;
+}
+
+obs::Json machine_info() {
+  obs::Json m = obs::Json::object();
+  char host[256] = {0};
+  if (gethostname(host, sizeof(host) - 1) == 0) m.set("host", host);
+  utsname un{};
+  if (uname(&un) == 0) {
+    m.set("os", std::string(un.sysname) + " " + un.release);
+    m.set("arch", un.machine);
+  }
+  m.set("cpus", static_cast<int>(std::thread::hardware_concurrency()));
+#if defined(__VERSION__)
+  m.set("compiler", __VERSION__);
+#endif
+  return m;
+}
+
+/// Loads $NOVA_PERF_BASELINE and returns its entries as (name, seconds)
+/// pairs; empty when unset, unreadable, or malformed.
+std::vector<PerfEntry> load_baseline(std::string* path_out) {
+  std::vector<PerfEntry> out;
+  const char* env = std::getenv("NOVA_PERF_BASELINE");
+  if (!env || !env[0]) return out;
+  *path_out = env;
+  std::ifstream in(env);
+  if (!in) {
+    std::fprintf(stderr, "perf: cannot read baseline %s\n", env);
+    return out;
+  }
+  std::stringstream ss;
+  ss << in.rdbuf();
+  std::string err;
+  auto doc = obs::Json::parse(ss.str(), &err);
+  if (!doc || !doc->is_object()) {
+    std::fprintf(stderr, "perf: bad baseline %s: %s\n", env, err.c_str());
+    return out;
+  }
+  const obs::Json* entries = doc->find("entries");
+  if (!entries || !entries->is_array()) return out;
+  for (const obs::Json& e : entries->as_array()) {
+    if (!e.is_object()) continue;
+    const obs::Json* name = e.find("name");
+    const obs::Json* seconds = e.find("seconds");
+    if (!name || !name->is_string() || !seconds || !seconds->is_number())
+      continue;
+    out.push_back({name->as_string(), seconds->as_number()});
+  }
+  return out;
+}
+
+void write_perf_report() {
+  PerfRegistry& r = perf_registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  if (r.entries.empty()) return;
+  const char* env = std::getenv("NOVA_PERF_JSON");
+  std::string path = env && env[0] ? env : "BENCH_perf.json";
+  std::string baseline_path;
+  std::vector<PerfEntry> baseline = load_baseline(&baseline_path);
+
+  obs::Json doc = obs::Json::object();
+  doc.set("version", 1);
+  doc.set("git_sha", NOVA_GIT_SHA);
+  doc.set("machine", machine_info());
+  if (!baseline_path.empty()) doc.set("baseline", baseline_path);
+  obs::Json entries = obs::Json::array();
+  for (const PerfEntry& e : r.entries) {
+    obs::Json j = obs::Json::object();
+    j.set("name", e.name);
+    j.set("seconds", e.seconds);
+    for (const PerfEntry& b : baseline) {
+      if (b.name != e.name) continue;
+      j.set("baseline_seconds", b.seconds);
+      if (e.seconds > 0.0) j.set("speedup", b.seconds / e.seconds);
+      break;
+    }
+    entries.push_back(std::move(j));
+  }
+  doc.set("entries", std::move(entries));
+
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) {
+    std::fprintf(stderr, "perf: cannot write %s\n", path.c_str());
+    return;
+  }
+  std::string text = doc.dump(2);
+  text += '\n';
+  std::fwrite(text.data(), 1, text.size(), f);
+  std::fclose(f);
+  std::fprintf(stderr, "perf: wrote %zu entries to %s\n", r.entries.size(),
+               path.c_str());
+}
 }  // namespace
+
+void perf_record(const std::string& name, double seconds) {
+  PerfRegistry& r = perf_registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  r.entries.push_back({name, seconds});
+  if (!r.exit_hook_registered) {
+    r.exit_hook_registered = true;
+    std::atexit(write_perf_report);
+  }
+}
+
+PerfPhase::PerfPhase(std::string name)
+    : name_(std::move(name)), t0_(now_seconds()) {}
+
+PerfPhase::~PerfPhase() { perf_record(name_, now_seconds() - t0_); }
 
 bool fast_mode() {
   const char* v = std::getenv("NOVA_BENCH_FAST");
@@ -102,17 +233,23 @@ int BenchContext::min_length() const {
 
 const std::vector<encoding::InputConstraint>&
 BenchContext::input_constraints() {
-  if (!ic_) ic_ = constraints::extract_input_constraints(fsm_, eopts_);
+  if (!ic_) {
+    PerfPhase phase(name_ + ".extract");
+    ic_ = constraints::extract_input_constraints(fsm_, eopts_);
+  }
   return ic_->constraints;
 }
 
 int BenchContext::one_hot_cubes() {
-  if (!ic_) ic_ = constraints::extract_input_constraints(fsm_, eopts_);
+  input_constraints();
   return ic_->minimized_cubes;
 }
 
 const constraints::SymbolicMinResult& BenchContext::symbolic() {
-  if (!sm_) sm_ = constraints::symbolic_minimize(fsm_, eopts_);
+  if (!sm_) {
+    PerfPhase phase(name_ + ".symbolic_min");
+    sm_ = constraints::symbolic_minimize(fsm_, eopts_);
+  }
   return *sm_;
 }
 
@@ -121,6 +258,8 @@ PlaMetrics BenchContext::evaluate(const Encoding& enc) {
 }
 
 AlgoResult BenchContext::run_iexact(long work_budget, int max_extra_bits) {
+  input_constraints();  // keep extraction in its own perf phase
+  PerfPhase phase(name_ + ".iexact");
   AlgoResult res;
   double t0 = now_seconds();
   encoding::InputGraph ig(input_constraints(), fsm_.num_states());
@@ -165,6 +304,7 @@ AlgoResult best_of(BenchContext& ctx, int sweep,
 
 AlgoResult BenchContext::run_ihybrid(int sweep) {
   const auto& ics = input_constraints();
+  PerfPhase phase(name_ + ".ihybrid");
   const int n = fsm_.num_states();
   auto make = [&](int nbits, bool at_nbits) {
     encoding::HybridOptions ho;
@@ -187,6 +327,7 @@ AlgoResult BenchContext::run_ihybrid(int sweep) {
 
 AlgoResult BenchContext::run_igreedy(int sweep) {
   const auto& ics = input_constraints();
+  PerfPhase phase(name_ + ".igreedy");
   const int n = fsm_.num_states();
   return best_of(*this, sweep, [&](int nbits) {
     Encoding enc = encoding::igreedy_code(ics, n, nbits).enc;
@@ -197,6 +338,7 @@ AlgoResult BenchContext::run_igreedy(int sweep) {
 
 AlgoResult BenchContext::run_iohybrid(int sweep) {
   const auto& sm = symbolic();
+  PerfPhase phase(name_ + ".iohybrid");
   const int n = fsm_.num_states();
   AlgoResult a = best_of(*this, sweep, [&](int nbits) {
     encoding::HybridOptions ho;
@@ -216,6 +358,8 @@ AlgoResult BenchContext::run_iohybrid(int sweep) {
 }
 
 AlgoResult BenchContext::run_kiss() {
+  input_constraints();
+  PerfPhase phase(name_ + ".kiss");
   AlgoResult res;
   double t0 = now_seconds();
   encoding::HybridOptions ho;
@@ -233,6 +377,7 @@ AlgoResult BenchContext::run_kiss() {
 }
 
 AlgoResult BenchContext::run_mustang_best(int sweep) {
+  PerfPhase phase(name_ + ".mustang");
   AlgoResult best;
   util::Rng rng(77);
   for (auto variant :
@@ -255,6 +400,7 @@ AlgoResult BenchContext::run_mustang_best(int sweep) {
 }
 
 BenchContext::RandomStats BenchContext::run_random(int trials) {
+  PerfPhase phase(name_ + ".random");
   RandomStats rs;
   rs.nbits = min_length();
   long total = 0;
@@ -273,6 +419,8 @@ BenchContext::RandomStats BenchContext::run_random(int trials) {
 }
 
 BenchContext::HybridStats BenchContext::hybrid_stats() {
+  input_constraints();
+  PerfPhase phase(name_ + ".hybrid_stats");
   HybridStats hs;
   double t0 = now_seconds();
   encoding::HybridOptions ho;

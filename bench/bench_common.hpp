@@ -10,6 +10,13 @@
 //   NOVA_TRACE=1          collect obs spans/counters per machine and write
 //                         a trajectory file at exit (see NOVA_OBS_JSON)
 //   NOVA_OBS_JSON=path    trajectory file path (default BENCH_obs.json)
+//   NOVA_PERF_JSON=path   perf report path (default BENCH_perf.json)
+//   NOVA_PERF_BASELINE=p  reference perf report; matching entries gain
+//                         "baseline_seconds" and "speedup" fields
+//
+// Unlike the obs trajectory (opt-in via NOVA_TRACE), the perf report is
+// always written: every phase a bench binary times lands in BENCH_perf.json
+// together with machine info and the git revision of the build.
 #pragma once
 
 #include <memory>
@@ -106,6 +113,29 @@ bool obs_enabled();
 /// ($NOVA_OBS_JSON, default "BENCH_obs.json") is written at process exit:
 ///   {"version":1, "entries":[{"label":..., "report":{...}}, ...]}
 void obs_append(const std::string& label, const obs::Report& report);
+
+/// Records one timed phase into the process-wide perf report. The report
+/// ($NOVA_PERF_JSON, default "BENCH_perf.json") is written at process exit:
+///   {"version":1, "git_sha":..., "machine":{...},
+///    "entries":[{"name":..., "seconds":...}, ...]}
+/// When $NOVA_PERF_BASELINE names a previous report, each entry whose name
+/// matches a baseline entry also carries "baseline_seconds" and "speedup"
+/// (= baseline_seconds / seconds).
+void perf_record(const std::string& name, double seconds);
+
+/// RAII phase timer: records `name` with the scope's wall time on
+/// destruction.
+class PerfPhase {
+ public:
+  explicit PerfPhase(std::string name);
+  ~PerfPhase();
+  PerfPhase(const PerfPhase&) = delete;
+  PerfPhase& operator=(const PerfPhase&) = delete;
+
+ private:
+  std::string name_;
+  double t0_;
+};
 
 /// The benchmark names to run (honors NOVA_BENCH_ONLY).
 std::vector<std::string> bench_names();

@@ -2,8 +2,18 @@
 // tautology, complement, espresso, constraint extraction, semiexact
 // embedding, projection, and the satisfaction checker; plus the
 // instrumentation-overhead pair (BM_EspressoMidUntraced/Traced) backing
-// the obs layer's <2% disabled-mode overhead claim.
+// the obs layer's <2% disabled-mode overhead claim, and the
+// allocation-counting pair-kernel bench (BM_CubeOpsNoAlloc) backing the
+// "intersects/contains/distance never allocate" claim.
+//
+// Every benchmark's per-iteration real time is also recorded into the
+// process perf report (BENCH_perf.json, see bench_common.hpp) under
+// "micro.<name>", so speedups vs a NOVA_PERF_BASELINE file land there.
 #include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
 
 #include "bench_common.hpp"
 #include "bench_data/benchmarks.hpp"
@@ -16,6 +26,26 @@
 #include "nova/nova.hpp"
 #include "obs/obs.hpp"
 #include "util/rng.hpp"
+
+// --- global allocation counter: every path through the replaceable
+// operator new bumps g_alloc_count, letting BM_CubeOpsNoAlloc assert that
+// the word-parallel cube kernels are allocation-free on the hot path.
+namespace {
+std::atomic<long> g_alloc_count{0};
+
+void* counted_alloc(std::size_t n) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(n ? n : 1)) return p;
+  throw std::bad_alloc();
+}
+}  // namespace
+
+void* operator new(std::size_t n) { return counted_alloc(n); }
+void* operator new[](std::size_t n) { return counted_alloc(n); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
 
 namespace {
 
@@ -167,6 +197,37 @@ void BM_EspressoMidTraced(benchmark::State& state) {
 }
 BENCHMARK(BM_EspressoMidTraced);
 
+// Pairwise cube kernels (intersects / contains / distance) over two covers,
+// counting global allocations around the kernel loop. The counter must stay
+// at zero — these are the inner loops of espresso's containment and
+// distance scans, and the whole point of the BitVec small-buffer rewrite is
+// that they never touch the heap. Arg = binary variable count: 16 fits the
+// two inline words, 80 (160 bits) exercises the heap-backed representation,
+// which must be allocation-free on reads all the same.
+void BM_CubeOpsNoAlloc(benchmark::State& state) {
+  const int nvars = static_cast<int>(state.range(0));
+  const logic::Cover f = random_cover(nvars, 40, 31);
+  const logic::Cover g = random_cover(nvars, 40, 37);
+  const logic::CubeSpec& spec = f.spec();
+  long kernel_allocs = 0;
+  long hits = 0;
+  for (auto _ : state) {
+    const long before = g_alloc_count.load(std::memory_order_relaxed);
+    for (int i = 0; i < f.size(); ++i) {
+      for (int j = 0; j < g.size(); ++j) {
+        hits += f[i].intersects(spec, g[j]) ? 1 : 0;
+        hits += f[i].contains(g[j]) ? 1 : 0;
+        hits += f[i].distance(spec, g[j]);
+      }
+    }
+    benchmark::DoNotOptimize(hits);
+    kernel_allocs += g_alloc_count.load(std::memory_order_relaxed) - before;
+  }
+  state.counters["allocs"] = static_cast<double>(kernel_allocs);
+  if (kernel_allocs != 0) state.SkipWithError("cube kernels allocated");
+}
+BENCHMARK(BM_CubeOpsNoAlloc)->Arg(16)->Arg(80);
+
 void BM_EvaluateEncoding(benchmark::State& state) {
   auto f = bench_data::load_benchmark("bbtas");
   util::Rng rng(29);
@@ -178,6 +239,31 @@ void BM_EvaluateEncoding(benchmark::State& state) {
 }
 BENCHMARK(BM_EvaluateEncoding);
 
+// Console output plus perf capture: each finished (non-aggregate,
+// non-errored) run's per-iteration real time is recorded as
+// "micro.<benchmark name>" so the exit-time BENCH_perf.json writer picks
+// it up alongside the table benches' phase timings.
+class PerfReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.run_type != Run::RT_Iteration || run.error_occurred) continue;
+      if (run.iterations <= 0) continue;
+      bench::perf_record(
+          "micro." + run.benchmark_name(),
+          run.real_accumulated_time / static_cast<double>(run.iterations));
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+};
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  PerfReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  return 0;
+}

@@ -4,6 +4,18 @@ add_library(nova_bench_common STATIC ${CMAKE_SOURCE_DIR}/bench/bench_common.cpp)
 target_include_directories(nova_bench_common PUBLIC ${CMAKE_SOURCE_DIR}/bench ${CMAKE_SOURCE_DIR}/src)
 target_link_libraries(nova_bench_common PUBLIC nova_driver nova_bench_data nova_mlopt)
 
+# Stamp the perf report (BENCH_perf.json) with the revision being measured.
+execute_process(
+  COMMAND git rev-parse --short=12 HEAD
+  WORKING_DIRECTORY ${CMAKE_SOURCE_DIR}
+  OUTPUT_VARIABLE NOVA_GIT_SHA
+  OUTPUT_STRIP_TRAILING_WHITESPACE
+  ERROR_QUIET)
+if(NOT NOVA_GIT_SHA)
+  set(NOVA_GIT_SHA "unknown")
+endif()
+target_compile_definitions(nova_bench_common PRIVATE NOVA_GIT_SHA="${NOVA_GIT_SHA}")
+
 function(nova_bench name)
   add_executable(${name} ${CMAKE_SOURCE_DIR}/bench/${name}.cpp)
   target_link_libraries(${name} PRIVATE nova_bench_common)

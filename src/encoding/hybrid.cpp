@@ -1,12 +1,51 @@
 #include "encoding/hybrid.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <map>
+#include <optional>
 #include <set>
+#include <thread>
+#include <tuple>
+
+#include "obs/obs.hpp"
+#include "util/thread_pool.hpp"
 
 namespace nova::encoding {
 
 namespace {
+
+/// Independent RNG stream for restart r: the additive constant walks the
+/// seed far apart per restart and Rng's splitmix64 seeding decorrelates the
+/// streams. Restart 0 never draws from its stream (it is the unperturbed
+/// legacy run).
+uint64_t restart_seed(uint64_t base, int restart) {
+  return base + 0x9e3779b97f4a7c15ULL * static_cast<uint64_t>(restart);
+}
+
+/// Fans fn(0..restarts-1) across the pool with the parent thread's obs
+/// report re-installed in every worker, counting pool activity. fn(i) must
+/// depend only on i; the caller merges by index.
+void run_restarts(int restarts, int threads,
+                  const std::function<void(int)>& fn) {
+  util::ThreadPool pool(threads > 0 ? threads
+                                    : util::ThreadPool::default_threads());
+  obs::Report* parent = obs::current_report();
+  std::atomic<long> offloaded{0};
+  const std::thread::id caller = std::this_thread::get_id();
+  pool.run_indexed(restarts, [&](int r) {
+    // Workers start with no collector; adopt the spawning thread's report
+    // so their counters/spans land in the same run. The calling thread
+    // already has it installed.
+    std::optional<obs::TraceSession> session;
+    if (parent != nullptr && !obs::enabled()) session.emplace(*parent);
+    if (std::this_thread::get_id() != caller) offloaded.fetch_add(1);
+    fn(r);
+  });
+  obs::counter_add("perf.pool.tasks", restarts);
+  obs::counter_add("perf.pool.tasks_offloaded", offloaded.load());
+  obs::counter_add("perf.embed.restarts", restarts);
+}
 
 Encoding pad_encoding(const Encoding& enc, const BitVec& raised) {
   Encoding out = enc;
@@ -80,20 +119,16 @@ Encoding project_code(const Encoding& enc, std::vector<InputConstraint>& sic,
   return out;
 }
 
-HybridResult ihybrid_code(const std::vector<InputConstraint>& ics,
-                          int num_states, const HybridOptions& opts) {
+namespace {
+
+/// One ihybrid attempt over an already-ordered constraint list.
+HybridResult ihybrid_attempt(const std::vector<InputConstraint>& todo,
+                             int num_states, const HybridOptions& opts) {
   HybridResult res;
   int min_len = min_code_length(num_states);
   res.min_length = min_len;
   const int nbits = std::max(opts.nbits == 0 ? min_len : opts.nbits, min_len);
   if (opts.start_at_nbits) min_len = nbits;  // semiexact at the target length
-
-  // Constraints in decreasing weight order.
-  std::vector<InputConstraint> todo = ics;
-  std::stable_sort(todo.begin(), todo.end(),
-                   [](const InputConstraint& a, const InputConstraint& b) {
-                     return a.weight > b.weight;
-                   });
 
   Encoding enc;
   bool have_enc = false;
@@ -137,6 +172,57 @@ HybridResult ihybrid_code(const std::vector<InputConstraint>& ics,
   return res;
 }
 
+int ric_weight(const HybridResult& r) {
+  int w = 0;
+  for (const auto& ic : r.ric) w += ic.weight;
+  return w;
+}
+
+}  // namespace
+
+HybridResult ihybrid_code(const std::vector<InputConstraint>& ics,
+                          int num_states, const HybridOptions& opts) {
+  // Constraints in decreasing weight order (the paper's processing order).
+  std::vector<InputConstraint> todo = ics;
+  std::stable_sort(todo.begin(), todo.end(),
+                   [](const InputConstraint& a, const InputConstraint& b) {
+                     return a.weight > b.weight;
+                   });
+  const int restarts = std::max(1, opts.restarts);
+  if (restarts == 1) return ihybrid_attempt(todo, num_states, opts);
+
+  // Deterministic parallel restarts: restart 0 is the unperturbed run
+  // above; restart r > 0 re-shuffles the tie groups of the weight order
+  // with its own RNG stream. Results are merged by (unsatisfied weight,
+  // code length, restart index), so the winner does not depend on the
+  // thread count or scheduling.
+  std::vector<HybridResult> results(restarts);
+  run_restarts(restarts, opts.threads, [&](int r) {
+    if (r == 0) {
+      results[0] = ihybrid_attempt(todo, num_states, opts);
+      return;
+    }
+    std::vector<InputConstraint> t = ics;
+    util::Rng rng(restart_seed(opts.seed, r));
+    rng.shuffle(t);
+    std::stable_sort(t.begin(), t.end(),
+                     [](const InputConstraint& a, const InputConstraint& b) {
+                       return a.weight > b.weight;
+                     });
+    results[r] = ihybrid_attempt(t, num_states, opts);
+  });
+  int best = 0;
+  auto key = [&](const HybridResult& h) {
+    return std::make_tuple(ric_weight(h), h.enc.nbits,
+                           static_cast<int>(h.used_random_fallback));
+  };
+  for (int r = 1; r < restarts; ++r) {
+    if (key(results[r]) < key(results[best])) best = r;
+  }
+  if (best != 0) obs::counter_add("perf.embed.restart_improvements");
+  return std::move(results[best]);
+}
+
 namespace {
 
 /// All vertices of a face, lexicographically by free-position value.
@@ -159,8 +245,13 @@ std::vector<uint64_t> face_vertices(const Face& f, int k) {
 
 }  // namespace
 
-GreedyResult igreedy_code(const std::vector<InputConstraint>& ics,
-                          int num_states, int nbits) {
+namespace {
+
+/// One igreedy attempt. `perturb` null reproduces the legacy deterministic
+/// ordering; non-null randomizes the tie order among equal-cardinality
+/// constraint sets (the only ordering freedom the algorithm has).
+GreedyResult igreedy_attempt(const std::vector<InputConstraint>& ics,
+                             int num_states, int nbits, util::Rng* perturb) {
   GreedyResult res;
   const int k = std::max(nbits == 0 ? min_code_length(num_states) : nbits,
                          min_code_length(num_states));
@@ -182,11 +273,14 @@ GreedyResult igreedy_code(const std::vector<InputConstraint>& ics,
     }
   }
   std::vector<BitVec> order(sets.begin(), sets.end());
-  std::stable_sort(order.begin(), order.end(), [](const BitVec& a,
-                                                  const BitVec& b) {
-    if (a.count() != b.count()) return a.count() < b.count();
-    return a < b;
-  });
+  if (perturb != nullptr) perturb->shuffle(order);
+  std::stable_sort(order.begin(), order.end(),
+                   [perturb](const BitVec& a, const BitVec& b) {
+                     if (a.count() != b.count()) return a.count() < b.count();
+                     // Legacy total order; perturbed runs keep the shuffled
+                     // tie order instead.
+                     return perturb == nullptr && a < b;
+                   });
 
   std::vector<int64_t> code(num_states, -1);
   std::vector<char> used(size_t{1} << k, 0);
@@ -330,12 +424,48 @@ GreedyResult igreedy_code(const std::vector<InputConstraint>& ics,
   for (int st = 0; st < num_states; ++st)
     res.enc.codes[st] = static_cast<uint64_t>(code[st]);
   for (const auto& ic : ics) {
-    if (constraint_satisfied(res.enc, ic))
+    if (constraint_satisfied(res.enc, ic)) {
       ++res.satisfied;
-    else
+    } else {
       ++res.unsatisfied;
+      res.weight_unsatisfied += ic.weight;
+    }
   }
   return res;
+}
+
+}  // namespace
+
+GreedyResult igreedy_code(const std::vector<InputConstraint>& ics,
+                          int num_states, int nbits) {
+  return igreedy_attempt(ics, num_states, nbits, nullptr);
+}
+
+GreedyResult igreedy_code(const std::vector<InputConstraint>& ics,
+                          int num_states, const GreedyOptions& opts) {
+  const int restarts = std::max(1, opts.restarts);
+  if (restarts == 1) return igreedy_attempt(ics, num_states, opts.nbits, nullptr);
+
+  // Deterministic parallel restarts; see ihybrid_code for the contract.
+  // Merged by (unsatisfied weight, unsatisfied count, restart index).
+  std::vector<GreedyResult> results(restarts);
+  run_restarts(restarts, opts.threads, [&](int r) {
+    if (r == 0) {
+      results[0] = igreedy_attempt(ics, num_states, opts.nbits, nullptr);
+      return;
+    }
+    util::Rng rng(restart_seed(opts.seed, r));
+    results[r] = igreedy_attempt(ics, num_states, opts.nbits, &rng);
+  });
+  int best = 0;
+  auto key = [&](const GreedyResult& g) {
+    return std::make_tuple(g.weight_unsatisfied, g.unsatisfied);
+  };
+  for (int r = 1; r < restarts; ++r) {
+    if (key(results[r]) < key(results[best])) best = r;
+  }
+  if (best != 0) obs::counter_add("perf.embed.restart_improvements");
+  return std::move(results[best]);
 }
 
 }  // namespace nova::encoding

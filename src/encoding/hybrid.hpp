@@ -25,6 +25,16 @@ struct HybridOptions {
   /// instead of the minimum code length (the paper always starts at the
   /// minimum and projects up). Useful when the caller sweeps code lengths.
   bool start_at_nbits = false;
+  /// Number of embedding attempts. Restart 0 is always the unperturbed
+  /// legacy run; restarts 1..N-1 re-shuffle tie groups of the constraint
+  /// order with independent per-restart RNG streams derived from `seed`.
+  /// The best result wins, ties broken by the lowest restart index, so the
+  /// outcome is identical for every thread count. restarts = 1 (default)
+  /// reproduces the single-attempt behavior bit for bit.
+  int restarts = 1;
+  /// Worker threads for the restart fan-out; 0 = NOVA_THREADS env variable
+  /// (falling back to the hardware concurrency).
+  int threads = 0;
 };
 
 struct HybridResult {
@@ -41,15 +51,29 @@ struct HybridResult {
 HybridResult ihybrid_code(const std::vector<InputConstraint>& ics,
                           int num_states, const HybridOptions& opts = {});
 
+struct GreedyOptions {
+  int nbits = 0;      ///< target code length; 0 = minimum
+  uint64_t seed = 1;  ///< base seed for the restart RNG streams
+  /// Same restart semantics as HybridOptions::restarts: restart 0 is the
+  /// unperturbed legacy run, later restarts randomize constraint-order tie
+  /// breaks, best (lowest weight missed, fewest unsatisfied, lowest restart
+  /// index) wins deterministically for every thread count.
+  int restarts = 1;
+  int threads = 0;    ///< 0 = NOVA_THREADS env / hardware concurrency
+};
+
 struct GreedyResult {
   Encoding enc;
   int satisfied = 0;
   int unsatisfied = 0;
+  int weight_unsatisfied = 0;
 };
 
 /// igreedy_code: bottom-up greedy from the deepest constraint intersections;
 /// never undoes a choice. `nbits` = 0 means the minimum code length.
 GreedyResult igreedy_code(const std::vector<InputConstraint>& ics,
                           int num_states, int nbits = 0);
+GreedyResult igreedy_code(const std::vector<InputConstraint>& ics,
+                          int num_states, const GreedyOptions& opts);
 
 }  // namespace nova::encoding

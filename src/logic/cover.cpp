@@ -1,6 +1,7 @@
 #include "logic/cover.hpp"
 
 #include <algorithm>
+#include <unordered_map>
 
 #include "obs/obs.hpp"
 
@@ -10,14 +11,13 @@ namespace {
 /// Picks the variable to branch on: the one with non-full parts in the most
 /// cubes (most binate), tie-broken by fewer values (cheaper branching).
 /// Returns -1 if every cube has every part full (i.e. some cube is full).
+/// O(num_vars) against the cover's personality cache.
 int select_var(const Cover& F) {
   const CubeSpec& spec = F.spec();
+  const std::vector<int32_t>& nf = F.nonfull_counts();
   int best = -1, best_count = 0, best_size = 0;
   for (int v = 0; v < spec.num_vars(); ++v) {
-    int cnt = 0;
-    for (const Cube& c : F) {
-      if (!c.part_full(spec, v)) ++cnt;
-    }
+    int cnt = nf[v];
     if (cnt == 0) continue;
     if (best == -1 || cnt > best_count ||
         (cnt == best_count && spec.size(v) < best_size)) {
@@ -29,15 +29,124 @@ int select_var(const Cover& F) {
   return best;
 }
 
-Cube value_cube(const CubeSpec& spec, int v, int k) {
-  Cube c = Cube::full(spec);
-  c.set_value(spec, v, k);
-  return c;
+/// Cofactor of F against the value cube "v = k", exploiting its structure:
+/// a cube intersects the value cube iff it has bit (v,k), and its cofactor
+/// is itself with variable v raised to full. Output-identical to
+/// cofactor(F, full-with-v=k) at a fraction of the cost -- the generic path
+/// pays an all-variables intersection test per cube.
+Cover cofactor_value(const Cover& F, int v, int k) {
+  const CubeSpec& spec = F.spec();
+  const int bvk = spec.bit(v, k);
+  Cover R(spec);
+  R.reserve(F.size());
+  for (const Cube& c : F) {
+    if (!c.get(bvk)) continue;
+    Cube t = c;
+    t.set_full(spec, v);
+    R.add_nonempty(t);
+  }
+  return R;
 }
 
 }  // namespace
 
+void Cover::build_nonfull() const {
+  obs::counter_add("perf.personality.nonfull_rebuilds");
+  nonfull_.assign(spec_.num_vars(), 0);
+  for (const Cube& c : cubes_) {
+    const uint64_t* w = c.raw().data();
+    for (int v = 0; v < spec_.num_vars(); ++v) {
+      for (int si = spec_.seg_begin(v); si < spec_.seg_end(v); ++si) {
+        const CubeSpec::VarSeg& s = spec_.seg(si);
+        if ((w[s.word] & s.mask) != s.mask) {
+          ++nonfull_[v];
+          break;
+        }
+      }
+    }
+  }
+  nonfull_valid_ = true;
+}
+
+void Cover::build_colcount() const {
+  obs::counter_add("perf.personality.colcount_rebuilds");
+  colcount_.assign(spec_.total_bits(), 0);
+  for (const Cube& c : cubes_) {
+    const uint64_t* w = c.raw().data();
+    const int nw = c.raw().num_words();
+    for (int wi = 0; wi < nw; ++wi) {
+      uint64_t part = w[wi];
+      while (part != 0) {
+        colcount_[(wi << 6) + __builtin_ctzll(part)] += 1;
+        part &= part - 1;
+      }
+    }
+  }
+  colcount_valid_ = true;
+}
+
+void Cover::personality_count(const Cube& c, int delta) const {
+  if (!nonfull_valid_ && !colcount_valid_) return;
+  const uint64_t* w = c.raw().data();
+  if (nonfull_valid_) {
+    for (int v = 0; v < spec_.num_vars(); ++v) {
+      for (int si = spec_.seg_begin(v); si < spec_.seg_end(v); ++si) {
+        const CubeSpec::VarSeg& s = spec_.seg(si);
+        if ((w[s.word] & s.mask) != s.mask) {
+          nonfull_[v] += delta;
+          break;
+        }
+      }
+    }
+  }
+  if (colcount_valid_) {
+    const int nw = c.raw().num_words();
+    for (int wi = 0; wi < nw; ++wi) {
+      uint64_t part = w[wi];
+      while (part != 0) {
+        colcount_[(wi << 6) + __builtin_ctzll(part)] += delta;
+        part &= part - 1;
+      }
+    }
+  }
+}
+
+int Cover::dedup() {
+  if (cubes_.size() < 2) return 0;
+  std::unordered_map<size_t, std::vector<int>> buckets;
+  buckets.reserve(cubes_.size());
+  std::vector<Cube> kept;
+  kept.reserve(cubes_.size());
+  int dropped = 0;
+  for (const Cube& c : cubes_) {
+    std::vector<int>& bucket = buckets[c.raw().hash()];
+    bool dup = false;
+    for (int ki : bucket) {
+      if (kept[ki] == c) {
+        dup = true;
+        break;
+      }
+    }
+    if (dup) {
+      ++dropped;
+      continue;
+    }
+    bucket.push_back(static_cast<int>(kept.size()));
+    kept.push_back(c);
+  }
+  if (dropped > 0) {
+    cubes_ = std::move(kept);
+    invalidate_personality();
+    obs::counter_add("perf.cover.dedup_drops", dropped);
+  }
+  return dropped;
+}
+
 void Cover::make_scc() {
+  // Hash-based exact-duplicate prefilter: O(n) removal of repeats before the
+  // quadratic containment pass (duplicates are contained cubes, so the final
+  // cover is unchanged -- SCC would drop them anyway, just more slowly).
+  dedup();
   // Sort by descending weight so that containers precede containees; then a
   // single forward pass removes contained cubes.
   std::stable_sort(cubes_.begin(), cubes_.end(), [](const Cube& a, const Cube& b) {
@@ -56,38 +165,187 @@ void Cover::make_scc() {
     if (!contained) kept.push_back(c);
   }
   cubes_ = std::move(kept);
+  invalidate_personality();
 }
 
 Cover cofactor(const Cover& F, const Cube& p) {
   Cover R(F.spec());
   R.reserve(F.size());
   for (const Cube& c : F) {
-    if (c.intersects(F.spec(), p)) R.add(c.cofactor(F.spec(), p));
+    // The cofactor of an intersecting cube is non-empty by construction, so
+    // skip add()'s nonempty() rescan.
+    if (c.intersects(F.spec(), p)) R.add_nonempty(c.cofactor(F.spec(), p));
   }
   return R;
 }
 
-bool tautology(const Cover& F) {
-  obs::counter_add("logic.tautology_calls");
+namespace {
+
+/// Reusable per-node working storage for the tautology recursion. A single
+/// instance is threaded through the whole recursion; every field is dead by
+/// the time a recursive call reuses it, so no node ever re-allocates.
+struct TautScratch {
+  std::vector<int32_t> nonfull;    // per-var count of non-full parts
+  std::vector<uint64_t> binate_or; // per-seg union over non-full parts
+  std::vector<int32_t> parent;     // union-find over variables
+  std::vector<int32_t> first_var;  // per-cube first non-full variable
+  std::vector<int> unate;
+};
+
+bool tautology_rec(const Cover& F, TautScratch& sc) {
   if (F.empty()) return F.spec().total_bits() == 0;
   const CubeSpec& spec = F.spec();
-  // Fast accept: a full cube covers everything.
+  const int nv = spec.num_vars();
+
+  // One fused word-parallel scan gathers everything the node needs:
+  //  - full-cube fast accept (a full cube covers the universe),
+  //  - the union of all cubes (orall fast reject),
+  //  - per-variable non-full counts (binateness, for branch selection),
+  //  - the per-segment union over NON-FULL parts only (unate detection),
+  //  - a union-find over co-occurring non-full variables (components).
+  sc.nonfull.assign(nv, 0);
+  sc.binate_or.assign(spec.num_segs(), 0);
+  sc.parent.resize(nv);
+  for (int v = 0; v < nv; ++v) sc.parent[v] = v;
+  auto find = [&sc](int x) {
+    while (sc.parent[x] != x) {
+      sc.parent[x] = sc.parent[sc.parent[x]];
+      x = sc.parent[x];
+    }
+    return x;
+  };
+  sc.first_var.clear();
+  Cube orall(spec);
   for (const Cube& c : F) {
-    if (c.is_full(spec)) return true;
+    const uint64_t* w = c.raw().data();
+    orall.raw() |= c.raw();
+    int first = -1;
+    for (int v = 0; v < nv; ++v) {
+      const int sb = spec.seg_begin(v), se = spec.seg_end(v);
+      if (se - sb == 1) {
+        // Common case: the variable lives in one storage word.
+        const CubeSpec::VarSeg& s = spec.seg(sb);
+        const uint64_t part = w[s.word] & s.mask;
+        if (part == s.mask) continue;
+        sc.binate_or[sb] |= part;
+      } else {
+        bool full = true;
+        for (int si = sb; si < se; ++si) {
+          const CubeSpec::VarSeg& s = spec.seg(si);
+          if ((w[s.word] & s.mask) != s.mask) full = false;
+        }
+        if (full) continue;
+        for (int si = sb; si < se; ++si) {
+          const CubeSpec::VarSeg& s = spec.seg(si);
+          sc.binate_or[si] |= w[s.word] & s.mask;
+        }
+      }
+      ++sc.nonfull[v];
+      if (first < 0)
+        first = v;
+      else
+        sc.parent[find(v)] = find(first);
+    }
+    if (first < 0) return true;  // full cube: covers the universe
+    sc.first_var.push_back(first);
   }
   // Fast reject: if some value of some variable appears in no cube, the
   // corresponding slice of the universe is uncovered.
-  Cube orall(spec);
-  for (const Cube& c : F) orall.raw() |= c.raw();
   if (!orall.is_full(spec)) return false;
 
-  int v = select_var(F);
+  // Unate reduction (espresso's UNATE_REDUCE, MV form): variable v is unate
+  // when some value k of v appears in no non-full part -- the union of the
+  // non-full v-parts misses k. Cofactoring F against v=k then keeps exactly
+  // the cubes full in v, and every other branch v=j is a superset of that
+  // cofactor, so
+  //   tautology(F)  <=>  tautology({c in F : c full in every unate v}).
+  sc.unate.clear();
+  for (int v = 0; v < nv; ++v) {
+    if (sc.nonfull[v] == 0) continue;  // full everywhere: no reduction value
+    for (int si = spec.seg_begin(v); si < spec.seg_end(v); ++si) {
+      if (sc.binate_or[si] != spec.seg(si).mask) {
+        sc.unate.push_back(v);
+        break;
+      }
+    }
+  }
+  if (!sc.unate.empty()) {
+    obs::counter_add("perf.tautology.unate_reductions");
+    Cover G(spec);
+    G.reserve(F.size());
+    for (const Cube& c : F) {
+      bool keep = true;
+      for (int v : sc.unate) {
+        if (!c.part_full(spec, v)) {
+          keep = false;
+          break;
+        }
+      }
+      if (keep) G.add_nonempty(c);
+    }
+    // Every cube was non-full in some unate variable: the v=k cofactor is
+    // empty, so a whole slice of the universe is uncovered.
+    if (G.empty()) return false;
+    return tautology_rec(G, sc);
+  }
+
+  // Component splitting: two variables interact when some cube has non-full
+  // parts in both. When the binate variables fall apart into >= 2 groups,
+  // F = F1 u F2 u ... with each Fg a cylinder over its group, and the
+  // uncovered region is the product of the per-group uncovered regions, so
+  //   tautology(F)  <=>  tautology(Fg) for SOME g.
+  // Build ALL component subcovers before recursing: the scratch is reused
+  // by the recursive calls.
+  int root0 = find(sc.first_var[0]);
+  bool split = false;
+  for (int i = 1; i < F.size() && !split; ++i)
+    split = find(sc.first_var[i]) != root0;
+  if (split) {
+    obs::counter_add("perf.tautology.component_splits");
+    std::vector<int> roots;
+    std::vector<Cover> groups;
+    for (int i = 0; i < F.size(); ++i) {
+      int r = find(sc.first_var[i]);
+      int g = 0;
+      while (g < static_cast<int>(roots.size()) && roots[g] != r) ++g;
+      if (g == static_cast<int>(roots.size())) {
+        roots.push_back(r);
+        groups.emplace_back(spec);
+      }
+      groups[g].add_nonempty(F[i]);
+    }
+    for (const Cover& G : groups) {
+      if (tautology_rec(G, sc)) return true;
+    }
+    return false;
+  }
+
+  // Branch on the most-binate variable (same rule as select_var, computed
+  // from the counts this node's scan already gathered).
+  int v = -1, best_count = 0, best_size = 0;
+  for (int u = 0; u < nv; ++u) {
+    if (sc.nonfull[u] == 0) continue;
+    if (v == -1 || sc.nonfull[u] > best_count ||
+        (sc.nonfull[u] == best_count && spec.size(u) < best_size)) {
+      v = u;
+      best_count = sc.nonfull[u];
+      best_size = spec.size(u);
+    }
+  }
   if (v < 0) return true;  // unreachable: some cube would be full
   for (int k = 0; k < spec.size(v); ++k) {
-    Cover Fk = cofactor(F, value_cube(spec, v, k));
-    if (!tautology(Fk)) return false;
+    Cover Fk = cofactor_value(F, v, k);
+    if (!tautology_rec(Fk, sc)) return false;
   }
   return true;
+}
+
+}  // namespace
+
+bool tautology(const Cover& F) {
+  obs::counter_add("logic.tautology_calls");
+  TautScratch sc;
+  return tautology_rec(F, sc);
 }
 
 bool covers_cube(const Cover& F, const Cube& c) {
@@ -130,8 +388,9 @@ Cover complement(const Cover& F) {
   }
   int v = select_var(F);
   for (int k = 0; k < spec.size(v); ++k) {
-    Cube vk = value_cube(spec, v, k);
-    Cover Ck = complement(cofactor(F, vk));
+    Cube vk = Cube::full(spec);
+    vk.set_value(spec, v, k);
+    Cover Ck = complement(cofactor_value(F, v, k));
     for (Cube c : Ck) {
       c.raw() &= vk.raw();
       R.add(c);
@@ -162,9 +421,7 @@ long double covered_fraction(const Cover& F) {
   if (v < 0) return 1.0L;
   long double sum = 0.0L;
   for (int k = 0; k < spec.size(v); ++k) {
-    Cube vk = Cube::full(spec);
-    vk.set_value(spec, v, k);
-    sum += covered_fraction(cofactor(F, vk));
+    sum += covered_fraction(cofactor_value(F, v, k));
   }
   return sum / spec.size(v);
 }

@@ -1,4 +1,11 @@
 // A cover: a set of cubes over a common CubeSpec, denoting their union.
+//
+// The cover maintains a lazily-built "personality" cache -- per-variable
+// counts of cubes with a non-full part and per-bit column counts -- kept
+// incrementally up to date by add()/remove() once materialized, and
+// invalidated by any mutable cube access. The tautology/complement
+// recursion uses it so variable selection and unate detection never rescan
+// the whole cover.
 #pragma once
 
 #include <string>
@@ -17,24 +24,59 @@ class Cover {
   int size() const { return static_cast<int>(cubes_.size()); }
   bool empty() const { return cubes_.empty(); }
   const Cube& operator[](int i) const { return cubes_[i]; }
-  Cube& operator[](int i) { return cubes_[i]; }
+  Cube& operator[](int i) {
+    invalidate_personality();
+    return cubes_[i];
+  }
   auto begin() const { return cubes_.begin(); }
   auto end() const { return cubes_.end(); }
-  auto begin() { return cubes_.begin(); }
+  auto begin() {
+    invalidate_personality();
+    return cubes_.begin();
+  }
   auto end() { return cubes_.end(); }
   const std::vector<Cube>& cubes() const { return cubes_; }
 
   /// Adds a cube; silently drops empty cubes to preserve the invariant that
   /// every stored cube denotes a non-empty set.
   void add(const Cube& c) {
-    if (c.nonempty(spec_)) cubes_.push_back(c);
+    if (c.nonempty(spec_)) add_nonempty(c);
+  }
+  /// add() for cubes the caller already knows are non-empty (e.g. cofactors
+  /// of intersecting cubes); skips the redundant nonempty() scan.
+  void add_nonempty(const Cube& c) {
+    personality_count(c, +1);
+    cubes_.push_back(c);
   }
   void add_all(const Cover& o) {
-    for (const Cube& c : o) add(c);
+    // Cubes stored in a cover are non-empty by invariant.
+    for (const Cube& c : o) add_nonempty(c);
   }
-  void remove(int i) { cubes_.erase(cubes_.begin() + i); }
-  void clear() { cubes_.clear(); }
+  void remove(int i) {
+    personality_count(cubes_[i], -1);
+    cubes_.erase(cubes_.begin() + i);
+  }
+  void clear() {
+    cubes_.clear();
+    invalidate_personality();
+  }
   void reserve(int n) { cubes_.reserve(n); }
+
+  /// Per-variable count of cubes whose part in that variable is not full
+  /// (the "binateness" column of espresso's personality matrix). Built
+  /// lazily in one word-parallel pass, then maintained incrementally by
+  /// add()/remove().
+  const std::vector<int32_t>& nonfull_counts() const {
+    if (!nonfull_valid_) build_nonfull();
+    return nonfull_;
+  }
+  /// Per-bit count of cubes asserting that bit (column counts). Lazy
+  /// separately from nonfull_counts(): building it walks every set bit, so
+  /// callers that only branch on binateness never pay for it.
+  const std::vector<int32_t>& column_counts() const {
+    if (!colcount_valid_) build_colcount();
+    return colcount_;
+  }
 
   /// True iff some cube contains the (non-empty) cube c in a single step.
   bool single_cube_contains(const Cube& c) const {
@@ -43,6 +85,10 @@ class Cover {
     }
     return false;
   }
+
+  /// Removes exact duplicate cubes (hash-prefiltered), keeping the first
+  /// occurrence of each. Returns the number of cubes dropped.
+  int dedup();
 
   /// Removes cubes contained in another cube of the cover (SCC minimization).
   void make_scc();
@@ -64,8 +110,22 @@ class Cover {
   }
 
  private:
+  void invalidate_personality() {
+    nonfull_valid_ = false;
+    colcount_valid_ = false;
+  }
+  void build_nonfull() const;
+  void build_colcount() const;
+  void personality_count(const Cube& c, int delta) const;
+
   CubeSpec spec_;
   std::vector<Cube> cubes_;
+  // Personality cache; mutable because it is a lazily-materialized view of
+  // cubes_ (logically const). The two halves validate independently.
+  mutable std::vector<int32_t> nonfull_;
+  mutable std::vector<int32_t> colcount_;
+  mutable bool nonfull_valid_ = false;
+  mutable bool colcount_valid_ = false;
 };
 
 /// Cofactor of F with respect to cube p: cubes at distance > 0 drop out,

@@ -3,6 +3,13 @@
 // Bit (v,k) set means variable v may take value k. A cube denotes the set of
 // minterms whose every variable value is admitted; a cube with an empty part
 // denotes the empty set. The full cube (all bits set) is the universe.
+//
+// All per-variable predicates (part emptiness/fullness, distance,
+// intersection, cofactor) run word-parallel over the CubeSpec's
+// precomputed variable segments -- no per-bit probing and, thanks to the
+// BitVec small-buffer storage, no heap allocation for specs of up to 128
+// bits. The naive per-bit versions are retained in logic/ref.hpp and the
+// differential tests pit the two against each other on randomized specs.
 #pragma once
 
 #include <string>
@@ -72,37 +79,60 @@ class Cube {
 
   /// Sets variable v to exactly value k (clears the rest of the part).
   void set_value(const CubeSpec& spec, int v, int k) {
-    for (int j = 0; j < spec.size(v); ++j) bits_.clear(spec.bit(v, j));
+    uint64_t* w = bits_.data();
+    for (int si = spec.seg_begin(v); si < spec.seg_end(v); ++si) {
+      const CubeSpec::VarSeg& s = spec.seg(si);
+      w[s.word] &= ~s.mask;
+    }
     bits_.set(spec.bit(v, k));
   }
 
   /// Makes variable v full (don't-care).
   void set_full(const CubeSpec& spec, int v) {
-    for (int j = 0; j < spec.size(v); ++j) bits_.set(spec.bit(v, j));
+    uint64_t* w = bits_.data();
+    for (int si = spec.seg_begin(v); si < spec.seg_end(v); ++si) {
+      const CubeSpec::VarSeg& s = spec.seg(si);
+      w[s.word] |= s.mask;
+    }
   }
 
   bool part_full(const CubeSpec& spec, int v) const {
-    for (int j = 0; j < spec.size(v); ++j) {
-      if (!bits_.get(spec.bit(v, j))) return false;
+    const uint64_t* w = bits_.data();
+    for (int si = spec.seg_begin(v); si < spec.seg_end(v); ++si) {
+      const CubeSpec::VarSeg& s = spec.seg(si);
+      if ((w[s.word] & s.mask) != s.mask) return false;
     }
     return true;
   }
   bool part_empty(const CubeSpec& spec, int v) const {
-    for (int j = 0; j < spec.size(v); ++j) {
-      if (bits_.get(spec.bit(v, j))) return false;
+    const uint64_t* w = bits_.data();
+    for (int si = spec.seg_begin(v); si < spec.seg_end(v); ++si) {
+      const CubeSpec::VarSeg& s = spec.seg(si);
+      if ((w[s.word] & s.mask) != 0) return false;
     }
     return true;
   }
   int part_count(const CubeSpec& spec, int v) const {
+    const uint64_t* w = bits_.data();
     int c = 0;
-    for (int j = 0; j < spec.size(v); ++j) c += bits_.get(spec.bit(v, j));
+    for (int si = spec.seg_begin(v); si < spec.seg_end(v); ++si) {
+      const CubeSpec::VarSeg& s = spec.seg(si);
+      c += __builtin_popcountll(w[s.word] & s.mask);
+    }
     return c;
   }
 
   /// True iff the cube denotes a non-empty set (every part non-empty).
   bool nonempty(const CubeSpec& spec) const {
-    for (int v = 0; v < spec.num_vars(); ++v) {
-      if (part_empty(spec, v)) return false;
+    const uint64_t* w = bits_.data();
+    const int nv = spec.num_vars();
+    for (int v = 0; v < nv; ++v) {
+      bool hit = false;
+      for (int si = spec.seg_begin(v); si < spec.seg_end(v) && !hit; ++si) {
+        const CubeSpec::VarSeg& s = spec.seg(si);
+        hit = (w[s.word] & s.mask) != 0;
+      }
+      if (!hit) return false;
     }
     return true;
   }
@@ -116,11 +146,21 @@ class Cube {
   /// denote non-empty sets; callers keep cubes non-empty as an invariant).
   bool contains(const Cube& o) const { return bits_.contains(o.bits_); }
 
-  /// True iff the intersection is a non-empty cube.
+  /// True iff the intersection is a non-empty cube (distance 0).
+  /// Allocation-free: tests every variable part of a & b word-parallel.
   bool intersects(const CubeSpec& spec, const Cube& o) const {
-    Cube t = *this;
-    t.bits_ &= o.bits_;
-    return t.nonempty(spec);
+    const uint64_t* a = bits_.data();
+    const uint64_t* b = o.bits_.data();
+    const int nv = spec.num_vars();
+    for (int v = 0; v < nv; ++v) {
+      bool hit = false;
+      for (int si = spec.seg_begin(v); si < spec.seg_end(v) && !hit; ++si) {
+        const CubeSpec::VarSeg& s = spec.seg(si);
+        hit = (a[s.word] & b[s.word] & s.mask) != 0;
+      }
+      if (!hit) return false;
+    }
+    return true;
   }
 
   /// Intersection; may be an empty cube (check nonempty()).
@@ -139,23 +179,38 @@ class Cube {
 
   /// Number of variables whose parts do not intersect.
   int distance(const CubeSpec& spec, const Cube& o) const {
+    const uint64_t* a = bits_.data();
+    const uint64_t* b = o.bits_.data();
+    const int nv = spec.num_vars();
     int d = 0;
-    for (int v = 0; v < spec.num_vars(); ++v) {
+    for (int v = 0; v < nv; ++v) {
       bool hit = false;
-      for (int j = 0; j < spec.size(v) && !hit; ++j) {
-        int b = spec.bit(v, j);
-        hit = bits_.get(b) && o.bits_.get(b);
+      for (int si = spec.seg_begin(v); si < spec.seg_end(v) && !hit; ++si) {
+        const CubeSpec::VarSeg& s = spec.seg(si);
+        hit = (a[s.word] & b[s.word] & s.mask) != 0;
       }
       if (!hit) ++d;
     }
     return d;
   }
 
+  /// True iff the parts of variable v are disjoint between *this and o.
+  bool disjoint_var(const CubeSpec& spec, const Cube& o, int v) const {
+    const uint64_t* a = bits_.data();
+    const uint64_t* b = o.bits_.data();
+    for (int si = spec.seg_begin(v); si < spec.seg_end(v); ++si) {
+      const CubeSpec::VarSeg& s = spec.seg(si);
+      if ((a[s.word] & b[s.word] & s.mask) != 0) return false;
+    }
+    return true;
+  }
+
   /// Espresso cofactor of *this with respect to p. Requires distance 0.
   /// For each variable: result part = this_part | ~p_part.
   Cube cofactor(const CubeSpec& spec, const Cube& p) const {
+    (void)spec;
     Cube t = *this;
-    t.bits_ |= complement_bits(spec, p.bits_);
+    t.bits_.or_not(p.bits_);
     return t;
   }
 
@@ -184,13 +239,6 @@ class Cube {
   }
 
  private:
-  static BitVec complement_bits(const CubeSpec& spec, const BitVec& b) {
-    BitVec r = b;
-    r.flip_all();
-    (void)spec;
-    return r;
-  }
-
   BitVec bits_;
 };
 

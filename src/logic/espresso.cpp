@@ -27,12 +27,7 @@ class ExpandTracker {
     danger_.assign(spec.total_bits(), 0);
     for (int di = 0; di < off.size(); ++di) {
       for (int v = 0; v < nv; ++v) {
-        bool hit = false;
-        for (int k = 0; k < spec.size(v) && !hit; ++k) {
-          int b = spec.bit(v, k);
-          hit = start.get(b) && off[di].get(b);
-        }
-        if (!hit) {
+        if (start.disjoint_var(spec, off[di], v)) {
           disjoint_[di][v] = 1;
           ++count_[di];
         }
@@ -53,7 +48,7 @@ class ExpandTracker {
 
   /// Commits a feasible raise of bit b on `cur` (already updated by caller).
   void raise(int b, const Cube& /*cur*/) {
-    int v = var_of(b);
+    int v = spec_.var_of_bit(b);
     for (int di = 0; di < off_.size(); ++di) {
       if (!disjoint_[di][v]) continue;
       if (!off_[di].get(b)) continue;
@@ -67,14 +62,6 @@ class ExpandTracker {
   }
 
  private:
-  int var_of(int b) const {
-    // Linear scan is fine: called on the raise path only.
-    for (int v = 0; v < spec_.num_vars(); ++v) {
-      if (b >= spec_.offset(v) && b < spec_.offset(v) + spec_.size(v)) return v;
-    }
-    return -1;
-  }
-
   void add_danger(int di) { bump_danger(di, +1); }
   void remove_danger(int di) { bump_danger(di, -1); }
   void bump_danger(int di, int delta) {
@@ -86,9 +73,15 @@ class ExpandTracker {
       }
     }
     if (v < 0) return;
-    for (int k = 0; k < spec_.size(v); ++k) {
-      int b = spec_.bit(v, k);
-      if (off_[di].get(b)) danger_[b] += delta;
+    // Walk the set bits of the off-cube's v-part word-parallel.
+    const uint64_t* w = off_[di].raw().data();
+    for (int si = spec_.seg_begin(v); si < spec_.seg_end(v); ++si) {
+      const CubeSpec::VarSeg& s = spec_.seg(si);
+      uint64_t part = w[s.word] & s.mask;
+      while (part != 0) {
+        danger_[(s.word << 6) + __builtin_ctzll(part)] += delta;
+        part &= part - 1;
+      }
     }
   }
 
@@ -102,8 +95,8 @@ class ExpandTracker {
 
 /// Expands one cube to a prime against OFF, preferring raises present in
 /// many other cubes of F (so the expanded cube is likely to cover them).
-Cube expand_cube(const Cube& c, const Cover& off, const std::vector<int>& score,
-                 const CubeSpec& spec) {
+Cube expand_cube(const Cube& c, const Cover& off,
+                 const std::vector<int32_t>& score, const CubeSpec& spec) {
   Cube cur = c;
   ExpandTracker tracker(spec, c, off);
   if (tracker.inconsistent()) return cur;
@@ -164,7 +157,7 @@ Cover last_gasp(const Cover& F, const Cover& dc, const Cover& off) {
   for (int i = 0; i < F.size(); ++i) {
     Cover rest(spec);
     for (int j = 0; j < F.size(); ++j) {
-      if (j != i) rest.add(F[j]);
+      if (j != i) rest.add_nonempty(F[j]);
     }
     rest.add_all(dc);
     Cover rc = cofactor(rest, F[i]);
@@ -204,13 +197,9 @@ Cover expand(const Cover& F, const Cover& off) {
   obs::counter_add("espresso.expand_cubes_in", F.size());
   const CubeSpec& spec = F.spec();
   // Bit scores: how many cubes of F assert each bit. Raising popular bits
-  // makes the expanded cube more likely to swallow other cubes.
-  std::vector<int> score(spec.total_bits(), 0);
-  for (const Cube& c : F) {
-    for (int b = 0; b < spec.total_bits(); ++b) {
-      if (c.get(b)) ++score[b];
-    }
-  }
+  // makes the expanded cube more likely to swallow other cubes. These are
+  // exactly the cover's column counts (personality cache).
+  const std::vector<int32_t>& score = F.column_counts();
   // Process smallest cubes first: they gain the most from expansion.
   std::vector<int> order(F.size());
   std::iota(order.begin(), order.end(), 0);
@@ -219,9 +208,11 @@ Cover expand(const Cover& F, const Cover& off) {
 
   Cover R(spec);
   std::vector<char> covered(F.size(), 0);
+  long raises = 0;
   for (int idx : order) {
     if (covered[idx]) continue;
     Cube p = expand_cube(F[idx], off, score, spec);
+    raises += p.weight() - F[idx].weight();
     // Mark any remaining cube swallowed by the new prime.
     for (int j = 0; j < F.size(); ++j) {
       if (!covered[j] && p.contains(F[j])) covered[j] = 1;
@@ -230,6 +221,7 @@ Cover expand(const Cover& F, const Cover& off) {
     R.add(p);
   }
   R.make_scc();
+  obs::counter_add("perf.expand.raises", raises);
   obs::counter_add("espresso.expand_cubes_out", R.size());
   return R;
 }
@@ -250,7 +242,7 @@ Cover irredundant(const Cover& F, const Cover& dc) {
   for (int i : order) {
     Cover rest(F.spec());
     for (int j = 0; j < F.size(); ++j) {
-      if (j != i && alive[j]) rest.add(F[j]);
+      if (j != i && alive[j]) rest.add_nonempty(F[j]);
     }
     rest.add_all(dc);
     if (covers_cube(rest, F[i])) alive[i] = 0;
@@ -275,7 +267,7 @@ Cover reduce(const Cover& F, const Cover& dc) {
   for (int i : order) {
     Cover rest(cur.spec());
     for (int j = 0; j < cur.size(); ++j) {
-      if (j != i) rest.add(cur[j]);
+      if (j != i) rest.add_nonempty(cur[j]);
     }
     rest.add_all(dc);
     Cover rc = cofactor(rest, cur[i]);
@@ -299,7 +291,7 @@ std::pair<Cover, Cover> essentials(const Cover& F, const Cover& dc) {
   for (int i = 0; i < F.size(); ++i) {
     Cover others(spec);
     for (int j = 0; j < F.size(); ++j) {
-      if (j != i) others.add(F[j]);
+      if (j != i) others.add_nonempty(F[j]);
     }
     others.add_all(dc);
     Cover aug = others;

@@ -1,0 +1,130 @@
+// Naive per-bit reference implementations of the cube/cover kernels.
+//
+// These are the pre-word-parallel versions of the Cube operations and the
+// plain branch-everything tautology check, retained verbatim as an oracle:
+// the differential tests (tests/test_kernels.cpp) pit every word-parallel
+// kernel in logic/cube.hpp and logic/cover.cpp against these on randomized
+// specs, including widths that cross the 64- and 128-bit word boundaries.
+// Nothing here is ever called on a production path.
+#pragma once
+
+#include "logic/cover.hpp"
+#include "logic/cube.hpp"
+#include "logic/spec.hpp"
+
+namespace nova::logic::ref {
+
+inline bool part_full(const CubeSpec& spec, const Cube& c, int v) {
+  for (int j = 0; j < spec.size(v); ++j) {
+    if (!c.get(spec.bit(v, j))) return false;
+  }
+  return true;
+}
+
+inline bool part_empty(const CubeSpec& spec, const Cube& c, int v) {
+  for (int j = 0; j < spec.size(v); ++j) {
+    if (c.get(spec.bit(v, j))) return false;
+  }
+  return true;
+}
+
+inline int part_count(const CubeSpec& spec, const Cube& c, int v) {
+  int n = 0;
+  for (int j = 0; j < spec.size(v); ++j) n += c.get(spec.bit(v, j));
+  return n;
+}
+
+inline bool nonempty(const CubeSpec& spec, const Cube& c) {
+  for (int v = 0; v < spec.num_vars(); ++v) {
+    if (part_empty(spec, c, v)) return false;
+  }
+  return true;
+}
+
+inline int distance(const CubeSpec& spec, const Cube& a, const Cube& b) {
+  int d = 0;
+  for (int v = 0; v < spec.num_vars(); ++v) {
+    bool hit = false;
+    for (int j = 0; j < spec.size(v) && !hit; ++j) {
+      int bit = spec.bit(v, j);
+      hit = a.get(bit) && b.get(bit);
+    }
+    if (!hit) ++d;
+  }
+  return d;
+}
+
+inline bool intersects(const CubeSpec& spec, const Cube& a, const Cube& b) {
+  Cube t = a.intersect(b);
+  return nonempty(spec, t);
+}
+
+/// Per-bit espresso cofactor: result part = a_part | ~p_part.
+inline Cube cofactor(const CubeSpec& spec, const Cube& a, const Cube& p) {
+  Cube t = a;
+  for (int b = 0; b < spec.total_bits(); ++b) {
+    if (!p.get(b)) t.set(b);
+  }
+  return t;
+}
+
+inline bool contains(const Cube& a, const Cube& b) {
+  const util::BitVec& ra = a.raw();
+  const util::BitVec& rb = b.raw();
+  for (int i = 0; i < ra.size(); ++i) {
+    if (rb.get(i) && !ra.get(i)) return false;
+  }
+  return true;
+}
+
+/// Variable to branch on: most-binate, tie-broken by fewer values. The same
+/// selection rule as logic::cover.cpp's select_var, recomputed by scanning.
+inline int select_var(const Cover& F) {
+  const CubeSpec& spec = F.spec();
+  int best = -1, best_count = 0, best_size = 0;
+  for (int v = 0; v < spec.num_vars(); ++v) {
+    int cnt = 0;
+    for (const Cube& c : F) {
+      if (!part_full(spec, c, v)) ++cnt;
+    }
+    if (cnt == 0) continue;
+    if (best == -1 || cnt > best_count ||
+        (cnt == best_count && spec.size(v) < best_size)) {
+      best = v;
+      best_count = cnt;
+      best_size = spec.size(v);
+    }
+  }
+  return best;
+}
+
+/// Plain recursive tautology check: fast accept on a full cube, fast reject
+/// on an uncovered column, then branch on the most-binate variable. No
+/// unate reduction and no component splitting -- the oracle the optimized
+/// logic::tautology must agree with on every input.
+inline bool tautology(const Cover& F) {
+  if (F.empty()) return F.spec().total_bits() == 0;
+  const CubeSpec& spec = F.spec();
+  for (const Cube& c : F) {
+    if (c.is_full(spec)) return true;
+  }
+  Cube orall(spec);
+  for (const Cube& c : F) orall.raw() |= c.raw();
+  if (!orall.is_full(spec)) return false;
+
+  int v = select_var(F);
+  if (v < 0) return true;
+  for (int k = 0; k < spec.size(v); ++k) {
+    Cube vk = Cube::full(spec);
+    vk.set_value(spec, v, k);
+    Cover Fk(spec);
+    for (const Cube& c : F) {
+      if (intersects(spec, c, vk)) Fk.add(cofactor(spec, c, vk));
+    }
+    // Qualified: ADL on Cover would also find logic::tautology.
+    if (!ref::tautology(Fk)) return false;
+  }
+  return true;
+}
+
+}  // namespace nova::logic::ref

@@ -6,6 +6,13 @@
 // Multi-output functions are represented with the output part as the last
 // variable (the characteristic-function view: minimizing chi(x, j) over
 // (inputs..., output-index j) is exactly multi-output minimization).
+//
+// Besides the (offset, size) layout the spec precomputes, per variable, the
+// list of (word index, mask) segments its bit range occupies in the packed
+// 64-bit-word cube storage, plus a bit -> variable lookup table. These let
+// every per-variable cube kernel (part emptiness/fullness, distance,
+// intersection, cofactor feasibility) run as a handful of word operations
+// instead of per-bit probes; see docs/PERFORMANCE.md.
 #pragma once
 
 #include <numeric>
@@ -17,6 +24,13 @@ namespace nova::logic {
 
 class CubeSpec {
  public:
+  /// One 64-bit-word slice of a variable's bit range: `mask` selects the
+  /// variable's bits inside word `word` of the cube storage.
+  struct VarSeg {
+    int32_t word = 0;
+    uint64_t mask = 0;
+  };
+
   CubeSpec() = default;
   explicit CubeSpec(std::vector<int> sizes) : sizes_(std::move(sizes)) {
     offsets_.reserve(sizes_.size() + 1);
@@ -27,6 +41,7 @@ class CubeSpec {
       off += s;
     }
     offsets_.push_back(off);
+    build_segments();
   }
 
   /// Spec with `n` binary variables (and nothing else).
@@ -45,12 +60,52 @@ class CubeSpec {
     return offsets_[v] + k;
   }
 
+  /// Variable owning bit position `b` (O(1) table lookup).
+  int var_of_bit(int b) const {
+    NOVA_CONTRACT(paranoid, b >= 0 && b < total_bits(),
+                  "bit index out of range");
+    return bit_var_[b];
+  }
+
+  /// Word segments of variable v: indices [seg_begin(v), seg_end(v)) into
+  /// seg(). A variable narrower than 64 bits that does not straddle a word
+  /// boundary has exactly one segment (the common case).
+  int seg_begin(int v) const { return seg_off_[v]; }
+  int seg_end(int v) const { return seg_off_[v + 1]; }
+  int num_segs() const { return static_cast<int>(segs_.size()); }
+  const VarSeg& seg(int i) const { return segs_[i]; }
+  /// True iff variable v occupies a single storage word.
+  bool single_seg(int v) const { return seg_off_[v + 1] - seg_off_[v] == 1; }
+
   bool operator==(const CubeSpec& o) const { return sizes_ == o.sizes_; }
   bool operator!=(const CubeSpec& o) const { return !(*this == o); }
 
  private:
+  void build_segments() {
+    seg_off_.reserve(sizes_.size() + 1);
+    bit_var_.resize(total_bits());
+    for (int v = 0; v < num_vars(); ++v) {
+      seg_off_.push_back(static_cast<int>(segs_.size()));
+      int lo = offsets_[v];
+      int hi = lo + sizes_[v];  // exclusive
+      for (int b = lo; b < hi; ++b) bit_var_[b] = v;
+      for (int w = lo >> 6; w <= (hi - 1) >> 6; ++w) {
+        int first = w << 6, last = first + 63;
+        int from = lo > first ? lo : first;
+        int to = hi - 1 < last ? hi - 1 : last;
+        uint64_t m = (~uint64_t{0}) >> (63 - (to - first));
+        m &= (~uint64_t{0}) << (from - first);
+        segs_.push_back({w, m});
+      }
+    }
+    seg_off_.push_back(static_cast<int>(segs_.size()));
+  }
+
   std::vector<int> sizes_;
   std::vector<int> offsets_;
+  std::vector<VarSeg> segs_;
+  std::vector<int> seg_off_;
+  std::vector<int32_t> bit_var_;
 };
 
 }  // namespace nova::logic

@@ -215,6 +215,8 @@ NovaResult encode_fsm(const fsm::Fsm& fsm, const NovaOptions& opts) {
           ho.nbits = opts.nbits;
           ho.max_work = opts.max_work;
           ho.seed = opts.seed;
+          ho.restarts = opts.restarts;
+          ho.threads = opts.threads;
           auto hr = encoding::ihybrid_code(ics, n, ho);
           res.enc = std::move(hr.enc);
           res.clength_all = hr.clength_all;
@@ -222,7 +224,12 @@ NovaResult encode_fsm(const fsm::Fsm& fsm, const NovaOptions& opts) {
           break;
         }
         case Algorithm::kIGreedy: {
-          auto gr = encoding::igreedy_code(ics, n, opts.nbits);
+          encoding::GreedyOptions go;
+          go.nbits = opts.nbits;
+          go.seed = opts.seed;
+          go.restarts = opts.restarts;
+          go.threads = opts.threads;
+          auto gr = encoding::igreedy_code(ics, n, go);
           res.enc = std::move(gr.enc);
           polishable = true;
           break;

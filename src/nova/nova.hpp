@@ -68,6 +68,15 @@ struct NovaOptions {
   long max_work = 20000;     ///< embedding work budget per semiexact call
   long exact_work = 500000;  ///< total budget for iexact
   uint64_t seed = 1;
+  /// Embedding restarts for ihybrid/igreedy (see HybridOptions::restarts):
+  /// restart 0 is the unperturbed legacy run, the best result wins with
+  /// ties broken by restart index. 1 = single attempt (bit-identical to
+  /// the pre-restart behavior).
+  int restarts = 1;
+  /// Worker threads for the restart fan-out; 0 = NOVA_THREADS env variable
+  /// (falling back to the hardware concurrency). Any value yields the same
+  /// encoding for a given (seed, restarts).
+  int threads = 0;
   /// Apply the satisfaction-directed polish pass after ihybrid/igreedy.
   bool polish = false;
   /// Collect a full obs::Report (spans + counters) for this run; defaults

@@ -52,6 +52,13 @@ void counter_add_slow(const char* name, long delta);
 void counter_peak_slow(const char* name, long value);
 }  // namespace detail
 
+/// The report installed on the current thread, or null when tracing is off.
+/// Worker threads use this (captured on the spawning thread) to re-install
+/// the parent's collector via TraceSession so their spans and counters land
+/// in the same report; Report is mutex-protected, so concurrent collection
+/// is safe.
+inline Report* current_report() { return detail::tl_report; }
+
 /// True when the current thread has an active trace session.
 inline bool enabled() {
 #ifdef NOVA_OBS_FORCE_OFF

@@ -1,16 +1,22 @@
 // Dynamic fixed-width bit vector used for state sets and cube storage.
 //
-// A BitVec owns `nbits` bits packed into 64-bit words. All bitwise
-// operations require operands of the same width; this is enforced by
-// NOVA_CONTRACT checks (cheap level for whole-vector operations, paranoid
-// for per-bit accessors). Bits beyond `nbits` in the last word are kept
-// zero as a
-// class invariant, so word-level comparisons and popcounts are exact.
+// A BitVec owns `nbits` bits packed into 64-bit words. Vectors of up to
+// kInlineWords * 64 bits (128) are stored inline with no heap allocation --
+// every cube of a typical CubeSpec fits, so the logic kernels are
+// allocation-free on their hot paths. Wider vectors fall back to a heap
+// buffer transparently.
+//
+// All bitwise operations require operands of the same width; this is
+// enforced by NOVA_CONTRACT checks (cheap level for whole-vector
+// operations, paranoid for per-bit accessors). Bits beyond `nbits` in the
+// last word are kept zero as a class invariant, so word-level comparisons
+// and popcounts are exact.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
+#include <cstring>
 #include <string>
-#include <vector>
 
 #include "check/contract.hpp"
 
@@ -18,9 +24,62 @@ namespace nova::util {
 
 class BitVec {
  public:
+  /// Words stored inline before spilling to the heap.
+  static constexpr int kInlineWords = 2;
+
   BitVec() = default;
-  explicit BitVec(int nbits) : nbits_(nbits), words_((nbits + 63) / 64, 0) {
+  explicit BitVec(int nbits)
+      : nbits_(nbits), nwords_((nbits + 63) / 64) {
     NOVA_CONTRACT(cheap, nbits >= 0, "negative BitVec width");
+    if (nwords_ > kInlineWords) {
+      store_.heap = new uint64_t[nwords_]();
+    } else {
+      store_.inl[0] = 0;
+      store_.inl[1] = 0;
+    }
+  }
+
+  BitVec(const BitVec& o) : nbits_(o.nbits_), nwords_(o.nwords_) {
+    if (nwords_ > kInlineWords) {
+      store_.heap = new uint64_t[nwords_];
+      std::memcpy(store_.heap, o.store_.heap, sizeof(uint64_t) * nwords_);
+    } else {
+      store_.inl[0] = o.store_.inl[0];
+      store_.inl[1] = o.store_.inl[1];
+    }
+  }
+  BitVec(BitVec&& o) noexcept : nbits_(o.nbits_), nwords_(o.nwords_) {
+    store_ = o.store_;
+    o.nbits_ = 0;
+    o.nwords_ = 0;
+  }
+  BitVec& operator=(const BitVec& o) {
+    if (this == &o) return *this;
+    if (nwords_ == o.nwords_) {  // reuse the buffer, heap or inline
+      std::memcpy(data(), o.data(), sizeof(uint64_t) * nwords_);
+      nbits_ = o.nbits_;
+      return *this;
+    }
+    BitVec tmp(o);
+    swap(tmp);
+    return *this;
+  }
+  BitVec& operator=(BitVec&& o) noexcept {
+    if (this == &o) return *this;
+    release();
+    nbits_ = o.nbits_;
+    nwords_ = o.nwords_;
+    store_ = o.store_;
+    o.nbits_ = 0;
+    o.nwords_ = 0;
+    return *this;
+  }
+  ~BitVec() { release(); }
+
+  void swap(BitVec& o) noexcept {
+    std::swap(nbits_, o.nbits_);
+    std::swap(nwords_, o.nwords_);
+    std::swap(store_, o.store_);
   }
 
   /// Builds a BitVec from a 0/1 string, e.g. "1010". str[0] is bit 0.
@@ -37,36 +96,50 @@ class BitVec {
   int size() const { return nbits_; }
   bool empty_width() const { return nbits_ == 0; }
 
+  /// Word-level access for the word-parallel kernels (logic::Cube etc.).
+  int num_words() const { return nwords_; }
+  uint64_t word(int i) const { return data()[i]; }
+  const uint64_t* data() const {
+    return nwords_ > kInlineWords ? store_.heap : store_.inl;
+  }
+  uint64_t* data() {
+    return nwords_ > kInlineWords ? store_.heap : store_.inl;
+  }
+
   bool get(int i) const {
     NOVA_CONTRACT(paranoid, i >= 0 && i < nbits_, "bit index out of range");
-    return (words_[i >> 6] >> (i & 63)) & 1u;
+    return (data()[i >> 6] >> (i & 63)) & 1u;
   }
   void set(int i) {
     NOVA_CONTRACT(paranoid, i >= 0 && i < nbits_, "bit index out of range");
-    words_[i >> 6] |= (uint64_t{1} << (i & 63));
+    data()[i >> 6] |= (uint64_t{1} << (i & 63));
   }
   void clear(int i) {
     NOVA_CONTRACT(paranoid, i >= 0 && i < nbits_, "bit index out of range");
-    words_[i >> 6] &= ~(uint64_t{1} << (i & 63));
+    data()[i >> 6] &= ~(uint64_t{1} << (i & 63));
   }
   void assign(int i, bool v) { v ? set(i) : clear(i); }
 
   void set_all() {
-    for (auto& w : words_) w = ~uint64_t{0};
+    uint64_t* w = data();
+    for (int i = 0; i < nwords_; ++i) w[i] = ~uint64_t{0};
     mask_tail();
   }
   void clear_all() {
-    for (auto& w : words_) w = 0;
+    uint64_t* w = data();
+    for (int i = 0; i < nwords_; ++i) w[i] = 0;
   }
 
   int count() const {
+    const uint64_t* w = data();
     int c = 0;
-    for (uint64_t w : words_) c += __builtin_popcountll(w);
+    for (int i = 0; i < nwords_; ++i) c += __builtin_popcountll(w[i]);
     return c;
   }
   bool none() const {
-    for (uint64_t w : words_) {
-      if (w != 0) return false;
+    const uint64_t* w = data();
+    for (int i = 0; i < nwords_; ++i) {
+      if (w[i] != 0) return false;
     }
     return true;
   }
@@ -75,9 +148,10 @@ class BitVec {
 
   /// Index of the lowest set bit, or -1 if none.
   int first() const {
-    for (size_t wi = 0; wi < words_.size(); ++wi) {
-      if (words_[wi] != 0)
-        return static_cast<int>(wi * 64 + __builtin_ctzll(words_[wi]));
+    const uint64_t* w = data();
+    for (int wi = 0; wi < nwords_; ++wi) {
+      if (w[wi] != 0)
+        return static_cast<int>(wi * 64 + __builtin_ctzll(w[wi]));
     }
     return -1;
   }
@@ -85,38 +159,57 @@ class BitVec {
   /// Index of the lowest set bit at position >= i, or -1 if none.
   int next(int i) const {
     if (i >= nbits_) return -1;
-    size_t wi = static_cast<size_t>(i) >> 6;
-    uint64_t w = words_[wi] & (~uint64_t{0} << (i & 63));
+    const uint64_t* words = data();
+    int wi = i >> 6;
+    uint64_t w = words[wi] & (~uint64_t{0} << (i & 63));
     while (true) {
       if (w != 0) return static_cast<int>(wi * 64 + __builtin_ctzll(w));
-      if (++wi >= words_.size()) return -1;
-      w = words_[wi];
+      if (++wi >= nwords_) return -1;
+      w = words[wi];
     }
   }
 
   BitVec& operator&=(const BitVec& o) {
     NOVA_CONTRACT(cheap, nbits_ == o.nbits_, "BitVec width mismatch");
-    for (size_t i = 0; i < words_.size(); ++i) words_[i] &= o.words_[i];
+    uint64_t* a = data();
+    const uint64_t* b = o.data();
+    for (int i = 0; i < nwords_; ++i) a[i] &= b[i];
     return *this;
   }
   BitVec& operator|=(const BitVec& o) {
     NOVA_CONTRACT(cheap, nbits_ == o.nbits_, "BitVec width mismatch");
-    for (size_t i = 0; i < words_.size(); ++i) words_[i] |= o.words_[i];
+    uint64_t* a = data();
+    const uint64_t* b = o.data();
+    for (int i = 0; i < nwords_; ++i) a[i] |= b[i];
     return *this;
   }
   BitVec& operator^=(const BitVec& o) {
     NOVA_CONTRACT(cheap, nbits_ == o.nbits_, "BitVec width mismatch");
-    for (size_t i = 0; i < words_.size(); ++i) words_[i] ^= o.words_[i];
+    uint64_t* a = data();
+    const uint64_t* b = o.data();
+    for (int i = 0; i < nwords_; ++i) a[i] ^= b[i];
     return *this;
   }
   /// Removes from *this every bit set in `o`.
   BitVec& subtract(const BitVec& o) {
     NOVA_CONTRACT(cheap, nbits_ == o.nbits_, "BitVec width mismatch");
-    for (size_t i = 0; i < words_.size(); ++i) words_[i] &= ~o.words_[i];
+    uint64_t* a = data();
+    const uint64_t* b = o.data();
+    for (int i = 0; i < nwords_; ++i) a[i] &= ~b[i];
+    return *this;
+  }
+  /// *this |= ~o, the word-parallel core of the espresso cofactor.
+  BitVec& or_not(const BitVec& o) {
+    NOVA_CONTRACT(cheap, nbits_ == o.nbits_, "BitVec width mismatch");
+    uint64_t* a = data();
+    const uint64_t* b = o.data();
+    for (int i = 0; i < nwords_; ++i) a[i] |= ~b[i];
+    mask_tail();
     return *this;
   }
   void flip_all() {
-    for (auto& w : words_) w = ~w;
+    uint64_t* w = data();
+    for (int i = 0; i < nwords_; ++i) w[i] = ~w[i];
     mask_tail();
   }
 
@@ -125,27 +218,56 @@ class BitVec {
   friend BitVec operator^(BitVec a, const BitVec& b) { return a ^= b; }
 
   bool operator==(const BitVec& o) const {
-    return nbits_ == o.nbits_ && words_ == o.words_;
+    if (nbits_ != o.nbits_) return false;
+    const uint64_t* a = data();
+    const uint64_t* b = o.data();
+    for (int i = 0; i < nwords_; ++i) {
+      if (a[i] != b[i]) return false;
+    }
+    return true;
   }
   bool operator!=(const BitVec& o) const { return !(*this == o); }
   /// Lexicographic-by-word order; usable as a map key.
   bool operator<(const BitVec& o) const {
     if (nbits_ != o.nbits_) return nbits_ < o.nbits_;
-    return words_ < o.words_;
+    const uint64_t* a = data();
+    const uint64_t* b = o.data();
+    for (int i = 0; i < nwords_; ++i) {
+      if (a[i] != b[i]) return a[i] < b[i];
+    }
+    return false;
   }
 
   /// True iff every bit of `o` is also set in *this.
   bool contains(const BitVec& o) const {
     NOVA_CONTRACT(cheap, nbits_ == o.nbits_, "BitVec width mismatch");
-    for (size_t i = 0; i < words_.size(); ++i) {
-      if ((words_[i] & o.words_[i]) != o.words_[i]) return false;
+    const uint64_t* a = data();
+    const uint64_t* b = o.data();
+    for (int i = 0; i < nwords_; ++i) {
+      if ((a[i] & b[i]) != b[i]) return false;
     }
     return true;
   }
+  /// True iff every bit of *this is also set in `o`.
+  bool subset_of(const BitVec& o) const { return o.contains(*this); }
   bool intersects(const BitVec& o) const {
     NOVA_CONTRACT(cheap, nbits_ == o.nbits_, "BitVec width mismatch");
-    for (size_t i = 0; i < words_.size(); ++i) {
-      if ((words_[i] & o.words_[i]) != 0) return true;
+    const uint64_t* a = data();
+    const uint64_t* b = o.data();
+    for (int i = 0; i < nwords_; ++i) {
+      if ((a[i] & b[i]) != 0) return true;
+    }
+    return false;
+  }
+  /// True iff (*this & o & mask) is non-empty.
+  bool intersects_masked(const BitVec& o, const BitVec& mask) const {
+    NOVA_CONTRACT(cheap, nbits_ == o.nbits_ && nbits_ == mask.size(),
+                  "BitVec width mismatch");
+    const uint64_t* a = data();
+    const uint64_t* b = o.data();
+    const uint64_t* m = mask.data();
+    for (int i = 0; i < nwords_; ++i) {
+      if ((a[i] & b[i] & m[i]) != 0) return true;
     }
     return false;
   }
@@ -160,21 +282,31 @@ class BitVec {
 
   size_t hash() const {
     uint64_t h = 0x9e3779b97f4a7c15ull ^ static_cast<uint64_t>(nbits_);
-    for (uint64_t w : words_) {
-      h ^= w + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+    const uint64_t* w = data();
+    for (int i = 0; i < nwords_; ++i) {
+      h ^= w[i] + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
     }
     return static_cast<size_t>(h);
   }
 
  private:
   void mask_tail() {
-    if (nbits_ % 64 != 0 && !words_.empty()) {
-      words_.back() &= (~uint64_t{0}) >> (64 - (nbits_ % 64));
+    if (nbits_ % 64 != 0 && nwords_ > 0) {
+      data()[nwords_ - 1] &= (~uint64_t{0}) >> (64 - (nbits_ % 64));
     }
   }
+  void release() {
+    if (nwords_ > kInlineWords) delete[] store_.heap;
+  }
+
+  union Store {
+    uint64_t inl[kInlineWords];
+    uint64_t* heap;
+  };
 
   int nbits_ = 0;
-  std::vector<uint64_t> words_;
+  int nwords_ = 0;
+  Store store_{{0, 0}};
 };
 
 struct BitVecHash {

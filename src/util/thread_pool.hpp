@@ -1,0 +1,86 @@
+// Minimal deterministic fork-join helper for fanning independent, indexed
+// tasks (e.g. embedding restarts) across cores.
+//
+// Determinism contract: run_indexed(count, fn) calls fn(0), ..., fn(count-1)
+// exactly once each; which OS thread runs which index is scheduling-
+// dependent, so callers MUST make fn(i) depend only on i (per-index RNG
+// streams, no shared mutable state) and merge results by index afterwards.
+// Under that discipline any thread count -- including 1 -- produces
+// identical results; see docs/PERFORMANCE.md.
+//
+// Workers are spawned per call rather than kept in a persistent pool: the
+// intended granularity is a handful of millisecond-scale restarts per
+// encode, where thread creation cost is noise and a condition-variable
+// dispatch loop would only add failure modes.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace nova::util {
+
+class ThreadPool {
+ public:
+  /// threads < 1 is clamped to 1 (everything runs on the calling thread).
+  explicit ThreadPool(int threads) : threads_(std::max(1, threads)) {}
+
+  int threads() const { return threads_; }
+
+  /// Runs fn(0..count-1) across up to threads() OS threads; the calling
+  /// thread participates. Blocks until every call has finished. The first
+  /// exception thrown by any task is rethrown on the calling thread after
+  /// the join (remaining tasks still run).
+  void run_indexed(int count, const std::function<void(int)>& fn) {
+    if (count <= 0) return;
+    const int workers = std::min(threads_, count);
+    if (workers <= 1) {
+      for (int i = 0; i < count; ++i) fn(i);
+      return;
+    }
+    std::atomic<int> next{0};
+    std::exception_ptr first_error;
+    std::mutex error_mu;
+    auto drain = [&] {
+      for (int i = next.fetch_add(1); i < count; i = next.fetch_add(1)) {
+        try {
+          fn(i);
+        } catch (...) {
+          std::lock_guard<std::mutex> lock(error_mu);
+          if (!first_error) first_error = std::current_exception();
+        }
+      }
+    };
+    std::vector<std::thread> extra;
+    extra.reserve(workers - 1);
+    for (int t = 1; t < workers; ++t) extra.emplace_back(drain);
+    drain();
+    for (auto& th : extra) th.join();
+    if (first_error) std::rethrow_exception(first_error);
+  }
+
+  /// Thread count requested by the NOVA_THREADS environment variable, or
+  /// the hardware concurrency when unset/invalid (1 when even that is
+  /// unknown). Read once per process.
+  static int default_threads() {
+    static const int n = [] {
+      if (const char* v = std::getenv("NOVA_THREADS")) {
+        int parsed = std::atoi(v);
+        if (parsed >= 1) return parsed;
+      }
+      unsigned hc = std::thread::hardware_concurrency();
+      return hc > 0 ? static_cast<int>(hc) : 1;
+    }();
+    return n;
+  }
+
+ private:
+  int threads_;
+};
+
+}  // namespace nova::util

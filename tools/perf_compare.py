@@ -1,0 +1,97 @@
+#!/usr/bin/env python3
+"""Compare two BENCH_perf.json reports with median-ratio normalization.
+
+Usage:
+    perf_compare.py BASELINE CURRENT [--threshold 1.15] [--min-entries 3]
+
+Both files use the schema written by bench_common.cpp:
+
+    {"version": 1, "git_sha": ..., "machine": {...},
+     "entries": [{"name": ..., "seconds": ...}, ...]}
+
+The two reports were usually produced on different machines (a committed
+baseline vs a CI runner), so absolute times are not comparable. For every
+entry name present in both reports we take the ratio
+
+    ratio = current_seconds / baseline_seconds
+
+and estimate the machine-speed factor as the MEDIAN ratio: if the runner is
+uniformly 1.4x slower, every ratio is ~1.4 and nothing should fail. An entry
+regresses when its own ratio exceeds the median by more than the threshold:
+
+    ratio / median(ratios) > threshold        (default 1.15 = +15%)
+
+Exits 1 when any entry regresses (or the reports share too few entries to
+normalize), printing a per-entry table either way.
+"""
+
+import argparse
+import json
+import statistics
+import sys
+
+
+def load_entries(path):
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, ValueError) as e:
+        sys.exit(f"perf_compare: cannot read {path}: {e}")
+    entries = {}
+    for e in doc.get("entries", []):
+        name, seconds = e.get("name"), e.get("seconds")
+        if isinstance(name, str) and isinstance(seconds, (int, float)):
+            if seconds > 0:
+                entries[name] = float(seconds)
+    return entries
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("baseline")
+    ap.add_argument("current")
+    ap.add_argument("--threshold", type=float, default=1.15,
+                    help="normalized ratio above which an entry fails "
+                         "(default 1.15 = 15%% slower than the median)")
+    ap.add_argument("--min-entries", type=int, default=3,
+                    help="minimum shared entries needed for the median "
+                         "normalization to be meaningful (default 3)")
+    args = ap.parse_args()
+
+    base = load_entries(args.baseline)
+    cur = load_entries(args.current)
+    shared = sorted(set(base) & set(cur))
+    if len(shared) < args.min_entries:
+        sys.exit(f"perf_compare: only {len(shared)} shared entries between "
+                 f"{args.baseline} and {args.current}; need at least "
+                 f"{args.min_entries} to normalize")
+
+    ratios = {n: cur[n] / base[n] for n in shared}
+    median = statistics.median(ratios.values())
+
+    width = max(len(n) for n in shared)
+    print(f"machine-speed factor (median ratio): {median:.3f}")
+    print(f"{'entry':<{width}}  {'base':>10}  {'current':>10}  "
+          f"{'ratio':>7}  {'norm':>7}")
+    failures = []
+    for n in shared:
+        norm = ratios[n] / median
+        flag = ""
+        if norm > args.threshold:
+            failures.append(n)
+            flag = "  <-- REGRESSION"
+        print(f"{n:<{width}}  {base[n]*1e6:>9.1f}u  {cur[n]*1e6:>9.1f}u  "
+              f"{ratios[n]:>7.3f}  {norm:>7.3f}{flag}")
+
+    if failures:
+        print(f"\n{len(failures)} entr{'y' if len(failures) == 1 else 'ies'} "
+              f"regressed more than {(args.threshold - 1) * 100:.0f}% vs the "
+              f"median-normalized baseline: {', '.join(failures)}")
+        return 1
+    print(f"\nok: no entry slower than {(args.threshold - 1) * 100:.0f}% "
+          f"above the normalized baseline ({len(shared)} compared)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
