@@ -13,12 +13,14 @@
 #include <string>
 
 #include "bench_data/benchmarks.hpp"
+#include "check/faultinject.hpp"
 #include "encoding/analysis.hpp"
 #include "fsm/dot_export.hpp"
 #include "constraints/input_constraints.hpp"
 #include "fsm/kiss_io.hpp"
 #include "logic/pla_io.hpp"
 #include "nova/nova.hpp"
+#include "nova/robust.hpp"
 
 namespace {
 
@@ -81,7 +83,30 @@ int main(int argc, char** argv) {
     return 0;
   }
 
-  driver::NovaResult r = driver::encode_fsm(f, opts);
+  // Under a budget (NOVA_DEADLINE_MS / NOVA_WORK_BUDGET) or armed fault
+  // injection (NOVA_FAULT), go through the robust front door: the run
+  // always emits a valid, verified encoding and exits 0, downgrading the
+  // algorithm if it must. Otherwise the legacy path keeps the output
+  // byte-identical to earlier releases.
+  driver::NovaResult r;
+  if (util::Budget::from_env().limited() || check::fault::armed()) {
+    auto outcome = driver::encode_fsm_robust(f, opts);
+    if (!outcome.usable()) {
+      std::fprintf(stderr, "error: %s\n", outcome.detail.c_str());
+      return 1;
+    }
+    if (!outcome.ok()) {
+      std::fprintf(stderr, "# robust: status=%s%s%s\n",
+                   util::status_name(outcome.status),
+                   outcome.detail.empty() ? "" : " -- ",
+                   outcome.detail.c_str());
+    }
+    if (outcome.value.used_sequential)
+      std::fprintf(stderr, "# robust: fell back to sequential codes\n");
+    r = std::move(outcome.value.nova);
+  } else {
+    r = driver::encode_fsm(f, opts);
+  }
   if (!r.success) {
     std::fprintf(stderr, "encoding failed (iexact budget exhausted?)\n");
     return 1;

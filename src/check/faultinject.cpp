@@ -1,0 +1,140 @@
+#include "check/faultinject.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <mutex>
+
+namespace nova::check::fault {
+
+namespace {
+
+// Keep in sync with the probe calls in the pipeline; the sweep test and
+// docs/ROBUSTNESS.md enumerate exactly this list.
+const char* const kSites[] = {
+    "kiss.parse",           // fsm/kiss_io.cpp, after the header scan
+    "pla.parse",            // logic/pla_io.cpp, after the header scan
+    "constraints.extract",  // constraints/input_constraints.cpp
+    "espresso.expand",      // logic/espresso.cpp, per EXPAND pass
+    "espresso.offset",      // logic/espresso.cpp, after the off-set build
+    "embed.search",         // encoding/embed.cpp, per pos_equiv call
+    "exact.minimize",       // logic/exact.cpp, before branch-and-bound
+    "driver.evaluate",      // nova/nova.cpp, encoded-PLA evaluation
+    "driver.verify",        // nova/robust.cpp, ladder verification step
+};
+
+struct State {
+  std::atomic<bool> armed{false};
+  std::string site;
+  long nth = 1;
+  Kind kind = Kind::kError;
+  std::atomic<long> hits{0};
+  std::atomic<bool> fired{false};
+  std::mutex mu;
+};
+
+State& state() {
+  static State s;
+  return s;
+}
+
+bool known_site(const std::string& site) {
+  for (const char* s : kSites) {
+    if (site == s) return true;
+  }
+  return false;
+}
+
+void arm_locked(State& s, const std::string& spec) {
+  auto c1 = spec.find(':');
+  if (c1 == std::string::npos || c1 == 0)
+    throw std::invalid_argument("NOVA_FAULT spec must be site:nth[:kind]: " +
+                                spec);
+  std::string site = spec.substr(0, c1);
+  if (!known_site(site))
+    throw std::invalid_argument("NOVA_FAULT names unknown site '" + site +
+                                "'");
+  auto c2 = spec.find(':', c1 + 1);
+  std::string nth_str = spec.substr(
+      c1 + 1, c2 == std::string::npos ? std::string::npos : c2 - c1 - 1);
+  long nth = std::atol(nth_str.c_str());
+  if (nth < 1)
+    throw std::invalid_argument("NOVA_FAULT nth must be >= 1: " + spec);
+  Kind kind = Kind::kError;
+  if (c2 != std::string::npos) {
+    std::string k = spec.substr(c2 + 1);
+    if (k == "error")
+      kind = Kind::kError;
+    else if (k == "alloc")
+      kind = Kind::kAlloc;
+    else if (k == "timeout")
+      kind = Kind::kTimeout;
+    else
+      throw std::invalid_argument("NOVA_FAULT kind must be error|alloc|timeout: " +
+                                  spec);
+  }
+  s.site = std::move(site);
+  s.nth = nth;
+  s.kind = kind;
+  s.hits.store(0, std::memory_order_relaxed);
+  s.fired.store(false, std::memory_order_relaxed);
+  s.armed.store(true, std::memory_order_release);
+}
+
+// Arms from the environment exactly once per process (tests use arm()
+// directly). A malformed NOVA_FAULT aborts loudly: a typo silently testing
+// nothing is worse than a hard failure.
+void arm_from_env_once() {
+  static std::once_flag flag;
+  std::call_once(flag, [] {
+    const char* v = std::getenv("NOVA_FAULT");
+    if (v == nullptr || *v == '\0') return;
+    State& s = state();
+    std::lock_guard<std::mutex> lock(s.mu);
+    arm_locked(s, v);
+  });
+}
+
+}  // namespace
+
+const std::vector<std::string>& registered_sites() {
+  static const std::vector<std::string> sites(std::begin(kSites),
+                                              std::end(kSites));
+  return sites;
+}
+
+void arm(const std::string& spec) {
+  State& s = state();
+  std::lock_guard<std::mutex> lock(s.mu);
+  arm_locked(s, spec);
+}
+
+void disarm() {
+  State& s = state();
+  std::lock_guard<std::mutex> lock(s.mu);
+  s.armed.store(false, std::memory_order_release);
+  s.hits.store(0, std::memory_order_relaxed);
+  s.fired.store(false, std::memory_order_relaxed);
+}
+
+bool armed() {
+  arm_from_env_once();
+  return state().armed.load(std::memory_order_acquire);
+}
+
+namespace detail {
+
+bool should_fire(const char* site) {
+  State& s = state();
+  if (s.site != site) return false;
+  long hit = s.hits.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (hit != s.nth) return false;
+  // fetch_add makes reaching nth unique, but guard against wrap-around
+  // re-fires on pathological long runs anyway.
+  return !s.fired.exchange(true, std::memory_order_relaxed);
+}
+
+Kind armed_kind() { return state().kind; }
+
+}  // namespace detail
+
+}  // namespace nova::check::fault

@@ -1,0 +1,82 @@
+// Deterministic fault injection for robustness testing.
+//
+// A fixed registry of named probe sites is compiled into the hot layers
+// (espresso, embedding, constraint extraction, KISS/PLA parsing, the
+// driver ladder). Each site costs one relaxed atomic load when injection
+// is disarmed. Arm a fault with the NOVA_FAULT environment variable or
+// fault::arm():
+//
+//   NOVA_FAULT=site:nth[:kind]
+//
+//   site  one of fault::registered_sites()
+//   nth   1-based hit count at which the fault fires (once)
+//   kind  error   (default) throw fault::FaultInjected
+//         alloc   throw std::bad_alloc, as a failed allocation would
+//         timeout trip the active Budget (falls back to `error` at probe
+//                 sites that have no budget in scope)
+//
+// The sweep test (test_faultinject.cpp) iterates every site x kind and
+// proves each injected fault surfaces as a clean structured Outcome --
+// never a crash, hang, or invalid encoding. See docs/ROBUSTNESS.md.
+#pragma once
+
+#include <new>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "util/budget.hpp"
+
+namespace nova::check::fault {
+
+/// Thrown by an armed `error`-kind probe (and what a `timeout` probe falls
+/// back to without a budget in scope). Derives from runtime_error so the
+/// pipeline's existing error handling funnels it to a structured Outcome.
+struct FaultInjected : std::runtime_error {
+  explicit FaultInjected(const std::string& site)
+      : std::runtime_error("injected fault at " + site), site(site) {}
+  std::string site;
+};
+
+enum class Kind { kError, kAlloc, kTimeout };
+
+/// Every probe site compiled into the pipeline, for sweep tests and docs.
+const std::vector<std::string>& registered_sites();
+
+/// Arms a fault from a "site:nth[:kind]" spec; throws std::invalid_argument
+/// on an unknown site or malformed spec. Replaces any armed fault.
+void arm(const std::string& spec);
+
+/// Disarms injection entirely (also clears the armed-from-env state).
+void disarm();
+
+/// True when a fault is armed (env or arm()); the fast path for probes.
+bool armed();
+
+namespace detail {
+// Hit bookkeeping + firing decision; only called when armed.
+bool should_fire(const char* site);
+Kind armed_kind();
+}  // namespace detail
+
+/// Probe: fires the armed fault when `site` reaches its nth hit. `budget`
+/// lets `timeout` faults trip the cooperative budget instead of throwing;
+/// pass null where no budget is in scope.
+inline void point(const char* site, util::Budget* budget = nullptr) {
+  if (!armed()) return;
+  if (!detail::should_fire(site)) return;
+  switch (detail::armed_kind()) {
+    case Kind::kAlloc:
+      throw std::bad_alloc();
+    case Kind::kTimeout:
+      if (budget != nullptr) {
+        budget->force_exhaust(util::BudgetStop::kCancelled);
+        return;
+      }
+      [[fallthrough]];
+    case Kind::kError:
+      throw FaultInjected(site);
+  }
+}
+
+}  // namespace nova::check::fault

@@ -7,6 +7,8 @@
 
 #include "constraints/input_constraints.hpp"
 #include "constraints/symbolic_min.hpp"
+#include "fsm/kiss_io.hpp"
+#include "logic/pla_io.hpp"
 
 namespace nova::check {
 
@@ -101,12 +103,37 @@ LintResult lint_kiss_text(const std::string& text, const std::string& filename,
     if (!(ss >> tok)) continue;
     if (tok == ".i") {
       if (!(ss >> ni) || ni < 0) err("parse-error", lineno, "bad .i directive");
+      if (ni > fsm::kMaxKissInputs) {
+        err("resource-limit", lineno,
+            ".i " + std::to_string(ni) + " exceeds the parser's input cap of " +
+                std::to_string(fsm::kMaxKissInputs));
+        return res;
+      }
     } else if (tok == ".o") {
       if (!(ss >> no) || no < 0) err("parse-error", lineno, "bad .o directive");
+      if (no > fsm::kMaxKissOutputs) {
+        err("resource-limit", lineno,
+            ".o " + std::to_string(no) +
+                " exceeds the parser's output cap of " +
+                std::to_string(fsm::kMaxKissOutputs));
+        return res;
+      }
     } else if (tok == ".p") {
       if (!(ss >> np)) err("parse-error", lineno, "bad .p directive");
+      if (np > fsm::kMaxKissTerms) {
+        err("resource-limit", lineno,
+            ".p " + std::to_string(np) + " exceeds the parser's term cap of " +
+                std::to_string(fsm::kMaxKissTerms));
+        return res;
+      }
     } else if (tok == ".s") {
       if (!(ss >> ns)) err("parse-error", lineno, "bad .s directive");
+      if (ns > fsm::kMaxKissStates) {
+        err("resource-limit", lineno,
+            ".s " + std::to_string(ns) + " exceeds the parser's state cap of " +
+                std::to_string(fsm::kMaxKissStates));
+        return res;
+      }
     } else if (tok == ".r") {
       if (!(ss >> reset_name)) err("parse-error", lineno, "bad .r directive");
       reset_line = lineno;
@@ -355,10 +382,29 @@ LintResult lint_pla_text(const std::string& text,
     if (!(ss >> tok)) continue;
     if (tok == ".i") {
       if (!(ss >> ni) || ni < 0) err("parse-error", lineno, "bad .i directive");
+      if (ni > logic::kMaxPlaInputs) {
+        err("resource-limit", lineno,
+            ".i " + std::to_string(ni) + " exceeds the parser's input cap of " +
+                std::to_string(logic::kMaxPlaInputs));
+        return res;
+      }
     } else if (tok == ".o") {
       if (!(ss >> no) || no < 0) err("parse-error", lineno, "bad .o directive");
+      if (no > logic::kMaxPlaOutputs) {
+        err("resource-limit", lineno,
+            ".o " + std::to_string(no) +
+                " exceeds the parser's output cap of " +
+                std::to_string(logic::kMaxPlaOutputs));
+        return res;
+      }
     } else if (tok == ".p") {
       if (!(ss >> np)) err("parse-error", lineno, "bad .p directive");
+      if (np > logic::kMaxPlaTerms) {
+        err("resource-limit", lineno,
+            ".p " + std::to_string(np) + " exceeds the parser's term cap of " +
+                std::to_string(logic::kMaxPlaTerms));
+        return res;
+      }
     } else if (tok == ".ilb" || tok == ".ob") {
       int n = 0;
       std::string l;

@@ -50,15 +50,17 @@ struct LintOptions {
 
 /// Lints KISS2 text. Diagnostic classes: parse-error, missing-header,
 /// malformed-row, width-mismatch, bad-literal, count-mismatch,
-/// unknown-state, conflicting-transitions, duplicate-transition,
-/// redundant-transition, unreachable-state, dead-end-state, unused-input,
+/// resource-limit (declared .i/.o/.s/.p count exceeds the parser's hard
+/// cap -- the parser would refuse the file), unknown-state,
+/// conflicting-transitions, duplicate-transition, redundant-transition,
+/// unreachable-state, dead-end-state, unused-input,
 /// unsatisfiable-constraints (with analyze_constraints).
 LintResult lint_kiss_text(const std::string& text, const std::string& filename,
                           const LintOptions& opts = {});
 
 /// Lints PLA text. Diagnostic classes: parse-error, malformed-row,
-/// width-mismatch, bad-literal, count-mismatch, label-mismatch,
-/// duplicate-row, redundant-term.
+/// width-mismatch, bad-literal, count-mismatch, resource-limit,
+/// label-mismatch, duplicate-row, redundant-term.
 LintResult lint_pla_text(const std::string& text, const std::string& filename);
 
 /// Lints a completed encoding (state -> code lines) against a parsed FSM.

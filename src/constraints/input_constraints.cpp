@@ -1,6 +1,7 @@
 #include "constraints/input_constraints.hpp"
 
 #include "check/contract.hpp"
+#include "check/faultinject.hpp"
 #include "fsm/symbolic.hpp"
 #include "obs/obs.hpp"
 
@@ -11,6 +12,7 @@ using logic::Cover;
 InputConstraintResult extract_input_constraints(
     const fsm::Fsm& fsm, const logic::EspressoOptions& opts) {
   obs::Span span("constraints.extract");
+  check::fault::point("constraints.extract", opts.budget);
   InputConstraintResult res;
   fsm::SymbolicCover sc = fsm::build_symbolic_cover(fsm);
   res.symbolic_cubes = sc.on.size();

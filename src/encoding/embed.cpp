@@ -6,6 +6,7 @@
 #include <string>
 
 #include "check/contract.hpp"
+#include "check/faultinject.hpp"
 #include "obs/obs.hpp"
 
 namespace nova::encoding {
@@ -195,6 +196,11 @@ class Search {
             f = f.intersect(faces_[fa]);
           }
           ++work_;
+          if (!util::budget_charge(opts_.budget)) {
+            res.exhausted = true;
+            finish(res);
+            return res;
+          }
           if (ok && verify(node, f)) {
             faces_[node] = f;
             assigned_[node] = 1;
@@ -207,7 +213,7 @@ class Search {
           gen_ready[idx] = 1;
         }
         while (auto f = gens_[idx].next()) {
-          if (++work_ > opts_.max_work) {
+          if (++work_ > opts_.max_work || !util::budget_charge(opts_.budget)) {
             res.exhausted = true;
             finish(res);
             return res;
@@ -227,7 +233,8 @@ class Search {
         idx = backtrack(idx, gen_ready);
         if (idx < 0) break;
       }
-      if (work_ > opts_.max_work) {
+      if (work_ > opts_.max_work ||
+          (opts_.budget != nullptr && opts_.budget->exhausted())) {
         res.exhausted = true;
         break;
       }
@@ -394,6 +401,7 @@ EmbedResult pos_equiv(const InputGraph& ig, int k,
                       const EmbedOptions& opts) {
   if (k < 1 || k > 63) return {};
   obs::Span span("embed.pos_equiv");
+  check::fault::point("embed.search", opts.budget);
   Search s(ig, k, dimvect, opts);
   EmbedResult res = s.run();
   contract_embed_post(ig, k, res);
@@ -431,6 +439,7 @@ ExactResult iexact_code(const InputGraph& ig, const ExactOptions& opts) {
     while (more && feasible) {
       EmbedOptions eo;
       eo.max_work = budget;
+      eo.budget = opts.budget;
       EmbedResult er = pos_equiv(ig, k, dimvect, eo);
       budget -= er.work;
       res.work += er.work;
@@ -440,7 +449,8 @@ ExactResult iexact_code(const InputGraph& ig, const ExactOptions& opts) {
         res.enc = std::move(er.enc);
         return res;
       }
-      if (budget <= 0) {
+      if (budget <= 0 ||
+          (opts.budget != nullptr && opts.budget->exhausted())) {
         res.exhausted = true;
         return res;
       }

@@ -16,6 +16,7 @@
 
 #include "encoding/encoding.hpp"
 #include "encoding/poset.hpp"
+#include "util/budget.hpp"
 
 namespace nova::encoding {
 
@@ -24,6 +25,11 @@ struct EmbedOptions {
   long max_work = 200000;
   /// Output covering constraints to honor during the search (io mode).
   const std::vector<OutputConstraint>* coverings = nullptr;
+  /// Optional cooperative budget: one work unit per attempted face
+  /// assignment (same unit as max_work), probed in the search inner loop.
+  /// Exhaustion surfaces as EmbedResult::exhausted, exactly like running
+  /// out of max_work. Null = unlimited.
+  util::Budget* budget = nullptr;
 };
 
 struct EmbedResult {
@@ -48,6 +54,7 @@ EmbedResult pos_equiv(const InputGraph& ig, int k,
 struct ExactOptions {
   long max_work = 2000000;  ///< total budget across all pos_equiv calls
   int max_bits = 0;         ///< 0 = up to num_states
+  util::Budget* budget = nullptr;  ///< cooperative budget (see EmbedOptions)
 };
 
 struct ExactResult {

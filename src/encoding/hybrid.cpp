@@ -121,9 +121,13 @@ Encoding project_code(const Encoding& enc, std::vector<InputConstraint>& sic,
 
 namespace {
 
-/// One ihybrid attempt over an already-ordered constraint list.
+/// One ihybrid attempt over an already-ordered constraint list. `budget`
+/// (may be null) is this attempt's own cooperative budget: on exhaustion
+/// the remaining constraints are rejected wholesale and the run still
+/// finishes with a complete encoding (anytime behavior).
 HybridResult ihybrid_attempt(const std::vector<InputConstraint>& todo,
-                             int num_states, const HybridOptions& opts) {
+                             int num_states, const HybridOptions& opts,
+                             util::Budget* budget) {
   HybridResult res;
   int min_len = min_code_length(num_states);
   res.min_length = min_len;
@@ -133,10 +137,15 @@ HybridResult ihybrid_attempt(const std::vector<InputConstraint>& todo,
   Encoding enc;
   bool have_enc = false;
   for (const auto& ic : todo) {
+    if (!util::budget_ok(budget)) {
+      res.ric.push_back(ic);
+      continue;
+    }
     std::vector<InputConstraint> trial = res.sic;
     trial.push_back(ic);
     EmbedOptions eo;
     eo.max_work = opts.max_work;
+    eo.budget = budget;
     EmbedResult er = semiexact_code(trial, num_states, min_len, eo);
     if (er.success) {
       enc = std::move(er.enc);
@@ -151,6 +160,7 @@ HybridResult ihybrid_attempt(const std::vector<InputConstraint>& todo,
     // back to an unconstrained embedding, then to a plain injective code.
     EmbedOptions eo;
     eo.max_work = opts.max_work;
+    eo.budget = budget;
     EmbedResult er = semiexact_code({}, num_states, min_len, eo);
     if (er.success) {
       enc = std::move(er.enc);
@@ -189,17 +199,23 @@ HybridResult ihybrid_code(const std::vector<InputConstraint>& ics,
                      return a.weight > b.weight;
                    });
   const int restarts = std::max(1, opts.restarts);
-  if (restarts == 1) return ihybrid_attempt(todo, num_states, opts);
+  if (restarts == 1) return ihybrid_attempt(todo, num_states, opts, opts.budget);
 
   // Deterministic parallel restarts: restart 0 is the unperturbed run
   // above; restart r > 0 re-shuffles the tie groups of the weight order
   // with its own RNG stream. Results are merged by (unsatisfied weight,
   // code length, restart index), so the winner does not depend on the
-  // thread count or scheduling.
+  // thread count or scheduling. Each restart charges its own budget fork
+  // so work-limit exhaustion is a pure function of the restart index.
   std::vector<HybridResult> results(restarts);
+  std::vector<util::Budget> attempt_budgets(
+      opts.budget != nullptr ? restarts : 0);
+  for (auto& b : attempt_budgets) b = opts.budget->fork_attempt();
   run_restarts(restarts, opts.threads, [&](int r) {
+    util::Budget* bud =
+        attempt_budgets.empty() ? nullptr : &attempt_budgets[r];
     if (r == 0) {
-      results[0] = ihybrid_attempt(todo, num_states, opts);
+      results[0] = ihybrid_attempt(todo, num_states, opts, bud);
       return;
     }
     std::vector<InputConstraint> t = ics;
@@ -209,7 +225,7 @@ HybridResult ihybrid_code(const std::vector<InputConstraint>& ics,
                      [](const InputConstraint& a, const InputConstraint& b) {
                        return a.weight > b.weight;
                      });
-    results[r] = ihybrid_attempt(t, num_states, opts);
+    results[r] = ihybrid_attempt(t, num_states, opts, bud);
   });
   int best = 0;
   auto key = [&](const HybridResult& h) {
@@ -249,9 +265,12 @@ namespace {
 
 /// One igreedy attempt. `perturb` null reproduces the legacy deterministic
 /// ordering; non-null randomizes the tie order among equal-cardinality
-/// constraint sets (the only ordering freedom the algorithm has).
+/// constraint sets (the only ordering freedom the algorithm has). `budget`
+/// (may be null) stops constraint-face placement early on exhaustion; the
+/// trailing free-vertex sweep always runs, so every state gets a code.
 GreedyResult igreedy_attempt(const std::vector<InputConstraint>& ics,
-                             int num_states, int nbits, util::Rng* perturb) {
+                             int num_states, int nbits, util::Rng* perturb,
+                             util::Budget* budget) {
   GreedyResult res;
   const int k = std::max(nbits == 0 ? min_code_length(num_states) : nbits,
                          min_code_length(num_states));
@@ -262,7 +281,7 @@ GreedyResult igreedy_attempt(const std::vector<InputConstraint>& ics,
     if (c >= 2 && c < num_states) sets.insert(ic.states);
   }
   bool changed = true;
-  while (changed) {
+  while (changed && util::budget_charge(budget, static_cast<long>(sets.size()))) {
     changed = false;
     std::vector<BitVec> cur(sets.begin(), sets.end());
     for (size_t i = 0; i < cur.size(); ++i) {
@@ -298,6 +317,7 @@ GreedyResult igreedy_attempt(const std::vector<InputConstraint>& ics,
   };
 
   for (const BitVec& s : order) {
+    if (!util::budget_charge(budget)) break;  // final sweep still codes all
     // Supercube of already-coded members.
     std::vector<uint64_t> coded;
     std::vector<int> uncoded;
@@ -438,24 +458,30 @@ GreedyResult igreedy_attempt(const std::vector<InputConstraint>& ics,
 
 GreedyResult igreedy_code(const std::vector<InputConstraint>& ics,
                           int num_states, int nbits) {
-  return igreedy_attempt(ics, num_states, nbits, nullptr);
+  return igreedy_attempt(ics, num_states, nbits, nullptr, nullptr);
 }
 
 GreedyResult igreedy_code(const std::vector<InputConstraint>& ics,
                           int num_states, const GreedyOptions& opts) {
   const int restarts = std::max(1, opts.restarts);
-  if (restarts == 1) return igreedy_attempt(ics, num_states, opts.nbits, nullptr);
+  if (restarts == 1)
+    return igreedy_attempt(ics, num_states, opts.nbits, nullptr, opts.budget);
 
   // Deterministic parallel restarts; see ihybrid_code for the contract.
   // Merged by (unsatisfied weight, unsatisfied count, restart index).
   std::vector<GreedyResult> results(restarts);
+  std::vector<util::Budget> attempt_budgets(
+      opts.budget != nullptr ? restarts : 0);
+  for (auto& b : attempt_budgets) b = opts.budget->fork_attempt();
   run_restarts(restarts, opts.threads, [&](int r) {
+    util::Budget* bud =
+        attempt_budgets.empty() ? nullptr : &attempt_budgets[r];
     if (r == 0) {
-      results[0] = igreedy_attempt(ics, num_states, opts.nbits, nullptr);
+      results[0] = igreedy_attempt(ics, num_states, opts.nbits, nullptr, bud);
       return;
     }
     util::Rng rng(restart_seed(opts.seed, r));
-    results[r] = igreedy_attempt(ics, num_states, opts.nbits, &rng);
+    results[r] = igreedy_attempt(ics, num_states, opts.nbits, &rng, bud);
   });
   int best = 0;
   auto key = [&](const GreedyResult& g) {

@@ -35,6 +35,13 @@ struct HybridOptions {
   /// Worker threads for the restart fan-out; 0 = NOVA_THREADS env variable
   /// (falling back to the hardware concurrency).
   int threads = 0;
+  /// Optional cooperative budget. Work limits are applied *per restart
+  /// attempt* (each attempt charges its own fork_attempt() child), so a
+  /// given work budget yields byte-identical encodings at any thread
+  /// count; the wall-clock deadline inside it is shared. On exhaustion the
+  /// attempt keeps its constraints accepted so far, rejects the rest, and
+  /// still produces a complete valid encoding. Null = unlimited.
+  util::Budget* budget = nullptr;
 };
 
 struct HybridResult {
@@ -60,6 +67,10 @@ struct GreedyOptions {
   /// index) wins deterministically for every thread count.
   int restarts = 1;
   int threads = 0;    ///< 0 = NOVA_THREADS env / hardware concurrency
+  /// Cooperative budget; same per-attempt fork semantics as
+  /// HybridOptions::budget. An exhausted attempt stops placing constraint
+  /// faces but always completes the encoding (every state gets a code).
+  util::Budget* budget = nullptr;
 };
 
 struct GreedyResult {

@@ -5,6 +5,8 @@
 #include <stdexcept>
 #include <vector>
 
+#include "check/faultinject.hpp"
+
 namespace nova::fsm {
 
 namespace {
@@ -35,12 +37,25 @@ Fsm parse_kiss(std::istream& in, const std::string& name) {
     if (!(ss >> tok)) continue;
     if (tok == ".i") {
       if (!(ss >> ni) || ni < 0) fail(lineno, "bad .i");
+      if (ni > kMaxKissInputs)
+        fail(lineno, ".i " + std::to_string(ni) + " exceeds the input cap of " +
+                         std::to_string(kMaxKissInputs));
     } else if (tok == ".o") {
       if (!(ss >> no) || no < 0) fail(lineno, "bad .o");
+      if (no > kMaxKissOutputs)
+        fail(lineno, ".o " + std::to_string(no) +
+                         " exceeds the output cap of " +
+                         std::to_string(kMaxKissOutputs));
     } else if (tok == ".p") {
       if (!(ss >> np)) fail(lineno, "bad .p");
+      if (np > kMaxKissTerms)
+        fail(lineno, ".p " + std::to_string(np) + " exceeds the term cap of " +
+                         std::to_string(kMaxKissTerms));
     } else if (tok == ".s") {
       if (!(ss >> ns)) fail(lineno, "bad .s");
+      if (ns > kMaxKissStates)
+        fail(lineno, ".s " + std::to_string(ns) + " exceeds the state cap of " +
+                         std::to_string(kMaxKissStates));
     } else if (tok == ".r") {
       if (!(ss >> reset_name)) fail(lineno, "bad .r");
     } else if (tok == ".e" || tok == ".end") {
@@ -54,10 +69,14 @@ Fsm parse_kiss(std::istream& in, const std::string& name) {
       if (!(ss >> r.ps >> r.ns >> r.out))
         fail(lineno, "transition needs 4 fields");
       r.line = lineno;
+      if (static_cast<int>(rows.size()) >= kMaxKissTerms)
+        fail(lineno, "transition table exceeds the term cap of " +
+                         std::to_string(kMaxKissTerms));
       rows.push_back(std::move(r));
     }
   }
   if (ni < 0 || no < 0) fail(lineno, "missing .i or .o");
+  check::fault::point("kiss.parse");
 
   Fsm fsm(ni, no);
   fsm.set_name(name);

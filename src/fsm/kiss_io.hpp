@@ -19,6 +19,15 @@
 
 namespace nova::fsm {
 
+/// Hard caps on declared (.i/.o/.s/.p) and actual table sizes. A malformed
+/// or hostile header must produce a line-numbered parse error, not an
+/// allocation proportional to an attacker-chosen count. Generous vs. the
+/// MCNC benchmarks (largest: scf with 27 inputs, 121 states, 166 terms).
+inline constexpr int kMaxKissInputs = 4096;
+inline constexpr int kMaxKissOutputs = 4096;
+inline constexpr int kMaxKissStates = 65536;
+inline constexpr int kMaxKissTerms = 1 << 22;
+
 /// Parses KISS2 text. Throws std::runtime_error with a line-numbered message
 /// on malformed input.
 Fsm parse_kiss(std::istream& in, const std::string& name = "");

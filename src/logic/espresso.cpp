@@ -4,6 +4,7 @@
 #include <numeric>
 
 #include "check/contract.hpp"
+#include "check/faultinject.hpp"
 #include "logic/exact.hpp"  // consensus()
 #include "obs/obs.hpp"
 
@@ -319,16 +320,35 @@ Cover espresso(const Cover& on, const Cover& dc, const EspressoOptions& opts,
   obs::counter_add("espresso.calls");
   obs::counter_add("espresso.input_cubes", on.size());
   const CubeSpec& spec = on.spec();
+  util::Budget* bud = opts.budget;
   Cover F = on;
   F.make_scc();
   if (F.empty()) return F;
+
+  // Anytime early-out: F always satisfies ON subseteq F subseteq ON u DC
+  // at this point and at every phase boundary below, so on exhaustion the
+  // current cover is returned as the (valid, less minimized) best-so-far.
+  auto out_of_budget = [&](Cover R) {
+    if (stats) stats->budget_exhausted = true;
+    obs::counter_add("espresso.budget_exhausted");
+    R.make_scc();
+    contract_minimization_post(R, on, dc);
+    return R;
+  };
+  if (!util::budget_charge(bud, F.size())) return out_of_budget(std::move(F));
 
   // Off-set = complement of ON u DC.
   Cover ondc = F;
   ondc.add_all(dc);
   Cover off = complement(ondc);
+  check::fault::point("espresso.offset", bud);
   if (stats) stats->offset_cubes = off.size();
   obs::counter_peak("espresso.offset_cubes_peak", off.size());
+  if (bud != nullptr &&
+      !bud->charge_alloc(static_cast<long>(off.size()) *
+                         ((spec.total_bits() + 7) / 8))) {
+    return out_of_budget(std::move(F));
+  }
   if (off.size() > opts.max_offset_cubes) {
     if (stats) stats->offset_capped = true;
     obs::counter_add("espresso.offset_capped");
@@ -339,8 +359,11 @@ Cover espresso(const Cover& on, const Cover& dc, const EspressoOptions& opts,
     return R;
   }
 
+  check::fault::point("espresso.expand", bud);
   F = expand(F, off);
+  if (!util::budget_charge(bud, F.size())) return out_of_budget(std::move(F));
   F = irredundant(F, dc);
+  if (!util::budget_charge(bud, F.size())) return out_of_budget(std::move(F));
 
   auto [E, F2] = essentials(F, dc);
   F = F2;
@@ -350,6 +373,11 @@ Cover espresso(const Cover& on, const Cover& dc, const EspressoOptions& opts,
   Cost best = cost_of(F);
   if (!opts.single_pass) {
     for (int it = 0; it < opts.max_iterations; ++it) {
+      if (!util::budget_charge(bud, F.size())) {
+        if (stats) stats->budget_exhausted = true;
+        obs::counter_add("espresso.budget_exhausted");
+        break;  // F u E below is the valid best-so-far
+      }
       if (stats) stats->iterations = it + 1;
       obs::counter_add("espresso.iterations");
       Cover G = reduce(F, dce);

@@ -8,6 +8,7 @@
 #pragma once
 
 #include "logic/cover.hpp"
+#include "util/budget.hpp"
 
 namespace nova::logic {
 
@@ -19,12 +20,19 @@ struct EspressoOptions {
   int max_iterations = 12;
   /// Skip the expensive REDUCE phase (single-pass expand+irredundant).
   bool single_pass = false;
+  /// Optional cooperative budget, probed at phase boundaries. On
+  /// exhaustion espresso returns its current (always valid) cover early:
+  /// ON subseteq result subseteq ON u DC holds at every checkpoint, so an
+  /// exhausted run degrades minimization quality, never correctness.
+  /// Null = unlimited (bit-identical to the pre-budget behavior).
+  util::Budget* budget = nullptr;
 };
 
 struct EspressoStats {
   int iterations = 0;
   int offset_cubes = 0;
   bool offset_capped = false;
+  bool budget_exhausted = false;  ///< stopped early on EspressoOptions::budget
 };
 
 /// Minimizes ON against the don't-care set DC. Returns a cover G with

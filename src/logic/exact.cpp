@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <set>
 
+#include "check/faultinject.hpp"
+
 namespace nova::logic {
 
 Cube consensus(const CubeSpec& spec, const Cube& a, const Cube& b, int v) {
@@ -30,6 +32,11 @@ Cover blake_primes(const Cover& on, const Cover& dc,
   bool changed = true;
   while (changed) {
     changed = false;
+    // One consensus round is O(|f|^2 * vars); charge the quadratic term so
+    // the budget tracks real work. Exhaustion reads as a blown prime cap.
+    if (!util::budget_charge(opts.budget,
+                             static_cast<long>(f.size()) * f.size()))
+      return Cover(spec);
     std::vector<Cube> add;
     for (int i = 0; i < f.size(); ++i) {
       for (int j = i + 1; j < f.size(); ++j) {
@@ -110,9 +117,9 @@ bool on_minterms(const Cover& on, const Cover& dc, int cap,
 class Covering {
  public:
   Covering(int nrows, int ncols, std::vector<std::vector<int>> row_cols,
-           long max_nodes)
+           long max_nodes, util::Budget* budget)
       : ncols_(ncols), row_cols_(std::move(row_cols)),
-        max_nodes_(max_nodes) {
+        max_nodes_(max_nodes), budget_(budget) {
     (void)nrows;
   }
 
@@ -133,6 +140,10 @@ class Covering {
  private:
   void search(std::vector<int> rows, std::vector<int>& chosen) {
     if (++nodes_ > max_nodes_) return;
+    if (!util::budget_charge(budget_)) {
+      nodes_ = max_nodes_ + 1;  // read as "bound not proven" by solve()
+      return;
+    }
     // Remove rows already covered.
     std::vector<char> is_chosen(ncols_, 0);
     for (int c : chosen) is_chosen[c] = 1;
@@ -208,6 +219,7 @@ class Covering {
   int ncols_;
   std::vector<std::vector<int>> row_cols_;
   long max_nodes_;
+  util::Budget* budget_;
   long nodes_ = 0;
   std::vector<int> best_;
 };
@@ -222,6 +234,7 @@ ExactMinResult exact_minimize(const Cover& on, const Cover& dc,
     res.optimal = true;
     return res;
   }
+  check::fault::point("exact.minimize", opts.budget);
   Cover primes = blake_primes(on, dc, opts);
   if (primes.empty()) {
     // Prime cap blown: fall back to the heuristic pipeline's input.
@@ -250,7 +263,7 @@ ExactMinResult exact_minimize(const Cover& on, const Cover& dc,
     }
   }
   Covering cov(static_cast<int>(rows.size()), primes.size(),
-               std::move(row_cols), opts.max_nodes);
+               std::move(row_cols), opts.max_nodes, opts.budget);
   bool proven = false;
   std::vector<int> picked = cov.solve(&proven);
   for (int c : picked) res.cover.add(primes[c]);

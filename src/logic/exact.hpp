@@ -9,6 +9,7 @@
 #pragma once
 
 #include "logic/cover.hpp"
+#include "util/budget.hpp"
 
 namespace nova::logic {
 
@@ -16,6 +17,10 @@ struct ExactMinOptions {
   int max_primes = 4000;       ///< cap on the Blake canonical form size
   int max_minterms = 1 << 14;  ///< cap on covering-matrix rows
   long max_nodes = 200000;     ///< branch-and-bound node budget
+  /// Optional cooperative budget probed per consensus round and per
+  /// branch-and-bound node; exhaustion triggers the same greedy fallback
+  /// as blowing a cap (optimal=false, result still a valid cover).
+  util::Budget* budget = nullptr;
 };
 
 struct ExactMinResult {

@@ -3,6 +3,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "check/faultinject.hpp"
+
 namespace nova::logic {
 
 CubeSpec Pla::spec() const {
@@ -36,9 +38,17 @@ Pla parse_pla(std::istream& in) {
     if (!(ss >> tok)) continue;
     if (tok == ".i") {
       if (!(ss >> pla.num_inputs) || pla.num_inputs < 0) fail(lineno, "bad .i");
+      if (pla.num_inputs > kMaxPlaInputs)
+        fail(lineno, ".i " + std::to_string(pla.num_inputs) +
+                         " exceeds the input cap of " +
+                         std::to_string(kMaxPlaInputs));
     } else if (tok == ".o") {
       if (!(ss >> pla.num_outputs) || pla.num_outputs < 0)
         fail(lineno, "bad .o");
+      if (pla.num_outputs > kMaxPlaOutputs)
+        fail(lineno, ".o " + std::to_string(pla.num_outputs) +
+                         " exceeds the output cap of " +
+                         std::to_string(kMaxPlaOutputs));
     } else if (tok == ".ilb") {
       std::string l;
       while (ss >> l) pla.input_labels.push_back(l);
@@ -56,9 +66,13 @@ Pla parse_pla(std::istream& in) {
       r.in = tok;
       if (!(ss >> r.out)) fail(lineno, "row needs input and output fields");
       r.line = lineno;
+      if (static_cast<int>(rows.size()) >= kMaxPlaTerms)
+        fail(lineno, "row count exceeds the term cap of " +
+                         std::to_string(kMaxPlaTerms));
       rows.push_back(std::move(r));
     }
   }
+  check::fault::point("pla.parse");
   if (pla.num_inputs <= 0 && !rows.empty())
     pla.num_inputs = static_cast<int>(rows[0].in.size());
   if (pla.num_outputs <= 0 && !rows.empty())

@@ -15,6 +15,12 @@
 
 namespace nova::logic {
 
+/// Hard caps on declared (.i/.o) widths and actual row counts; oversize
+/// headers fail with a line-numbered parse error instead of allocating.
+inline constexpr int kMaxPlaInputs = 4096;
+inline constexpr int kMaxPlaOutputs = 4096;
+inline constexpr int kMaxPlaTerms = 1 << 22;
+
 struct Pla {
   int num_inputs = 0;
   int num_outputs = 0;

@@ -2,8 +2,11 @@
 
 #include <optional>
 
+#include <stdexcept>
+
 #include "check/check.hpp"
 #include "check/contract.hpp"
+#include "check/faultinject.hpp"
 #include "constraints/input_constraints.hpp"
 #include "constraints/symbolic_min.hpp"
 #include "encoding/embed.hpp"
@@ -52,6 +55,7 @@ EvalResult evaluate_encoding(const fsm::Fsm& fsm, const Encoding& enc,
   ev.spec = encoded_spec(fsm, nb);
   const CubeSpec& spec = ev.spec;
   const int ov = ni + nb;  // index of the output variable
+  check::fault::point("driver.evaluate", opts.budget);
 
   Cover on(spec), dc(spec), specified(spec);
   for (const auto& t : fsm.transitions()) {
@@ -92,8 +96,14 @@ EvalResult evaluate_encoding(const fsm::Fsm& fsm, const Encoding& enc,
     }
   }
   // Unspecified transitions and unused state codes: fully don't-care.
-  dc.add_all(logic::complement(specified));
-  dc.make_scc();
+  // Skipped once the budget is exhausted: the complement can be the most
+  // expensive step here, and dropping it only under-approximates the
+  // don't-care set -- the minimized result stays functionally correct,
+  // just larger.
+  if (util::budget_ok(opts.budget)) {
+    dc.add_all(logic::complement(specified));
+    dc.make_scc();
+  }
 
   if (check::active(check::levels::cheap)) {
     check::check_cover(on, "evaluate_encoding on-set");
@@ -128,6 +138,23 @@ std::string simulate_pla(const EvalResult& ev, const fsm::Fsm& fsm,
   const int ni = fsm.num_inputs();
   const int nb = ev.metrics.nbits;
   const int ov = ni + nb;
+  // Structured rejection of malformed stimulus: a wrong-width or
+  // non-binary input pattern or an out-of-range present-state code would
+  // otherwise index past the cube spec (contract abort at best).
+  if (static_cast<int>(input_bits.size()) != ni)
+    throw std::invalid_argument(
+        "simulate_pla: input_bits has " + std::to_string(input_bits.size()) +
+        " characters, the machine has " + std::to_string(ni) + " inputs");
+  for (char c : input_bits) {
+    if (c != '0' && c != '1')
+      throw std::invalid_argument(
+          std::string("simulate_pla: input_bits character '") + c +
+          "' is not 0 or 1");
+  }
+  if (nb < 64 && state_code >= (uint64_t{1} << nb))
+    throw std::invalid_argument(
+        "simulate_pla: state_code " + std::to_string(state_code) +
+        " does not fit in " + std::to_string(nb) + " state bits");
   Cube point = Cube::full(spec);
   point.set_binary_from_pla(spec, 0, input_bits);
   for (int b = 0; b < nb; ++b)
@@ -170,6 +197,11 @@ NovaResult encode_fsm(const fsm::Fsm& fsm, const NovaOptions& opts) {
 
   const int n = fsm.num_states();
   util::Rng rng(opts.seed);
+  util::Budget* bud = opts.budget;
+  // Phase-local espresso options carrying the run's budget; with a null
+  // budget this is bit-identical to passing opts.espresso through.
+  logic::EspressoOptions eopts = opts.espresso;
+  eopts.budget = bud;
   {
     obs::Span run_span("nova.run", &res.phases.total);
     if (check::active(check::levels::cheap)) {
@@ -183,13 +215,12 @@ NovaResult encode_fsm(const fsm::Fsm& fsm, const NovaOptions& opts) {
       obs::Span span("nova.extract", &res.phases.extract);
       if (opts.algorithm == Algorithm::kIoHybrid ||
           opts.algorithm == Algorithm::kIoVariant) {
-        sm = constraints::symbolic_minimize(fsm, opts.espresso);
+        sm = constraints::symbolic_minimize(fsm, eopts);
         ics = sm->ic;
       } else if (opts.algorithm != Algorithm::kRandom &&
                  opts.algorithm != Algorithm::kMustangFanout &&
                  opts.algorithm != Algorithm::kMustangFanin) {
-        ics = constraints::extract_input_constraints(fsm, opts.espresso)
-                  .constraints;
+        ics = constraints::extract_input_constraints(fsm, eopts).constraints;
       }
     }
 
@@ -202,6 +233,7 @@ NovaResult encode_fsm(const fsm::Fsm& fsm, const NovaOptions& opts) {
           encoding::InputGraph ig(ics, n);
           encoding::ExactOptions eo;
           eo.max_work = opts.exact_work;
+          eo.budget = bud;
           auto er = encoding::iexact_code(ig, eo);
           if (!er.success) {
             res.success = false;
@@ -217,6 +249,7 @@ NovaResult encode_fsm(const fsm::Fsm& fsm, const NovaOptions& opts) {
           ho.seed = opts.seed;
           ho.restarts = opts.restarts;
           ho.threads = opts.threads;
+          ho.budget = bud;
           auto hr = encoding::ihybrid_code(ics, n, ho);
           res.enc = std::move(hr.enc);
           res.clength_all = hr.clength_all;
@@ -229,6 +262,7 @@ NovaResult encode_fsm(const fsm::Fsm& fsm, const NovaOptions& opts) {
           go.seed = opts.seed;
           go.restarts = opts.restarts;
           go.threads = opts.threads;
+          go.budget = bud;
           auto gr = encoding::igreedy_code(ics, n, go);
           res.enc = std::move(gr.enc);
           polishable = true;
@@ -238,6 +272,7 @@ NovaResult encode_fsm(const fsm::Fsm& fsm, const NovaOptions& opts) {
           encoding::HybridOptions ho;
           ho.nbits = opts.nbits;
           ho.max_work = opts.max_work;
+          ho.budget = bud;
           auto ir = encoding::iohybrid_code(sm->ic, sm->clusters, n, ho);
           res.enc = std::move(ir.enc);
           break;
@@ -248,6 +283,7 @@ NovaResult encode_fsm(const fsm::Fsm& fsm, const NovaOptions& opts) {
           encoding::HybridOptions ho;
           ho.nbits = opts.nbits;
           ho.max_work = opts.max_work;
+          ho.budget = bud;
           auto ir = encoding::iovariant_code(oo, sm->clusters,
                                              sm->cluster_ic, n, ho);
           res.enc = std::move(ir.enc);
@@ -256,6 +292,7 @@ NovaResult encode_fsm(const fsm::Fsm& fsm, const NovaOptions& opts) {
         case Algorithm::kKiss: {
           encoding::HybridOptions ho;
           ho.max_work = opts.max_work;
+          ho.budget = bud;
           auto kr = encoding::kiss_code(ics, n, ho);
           res.enc = std::move(kr.enc);
           break;
@@ -294,9 +331,13 @@ NovaResult encode_fsm(const fsm::Fsm& fsm, const NovaOptions& opts) {
 
       // --- final: encoded-PLA construction + espresso -------------------
       obs::Span span("nova.final", &res.phases.final_espresso);
-      EvalResult ev = evaluate_encoding(fsm, res.enc, opts.espresso);
+      EvalResult ev = evaluate_encoding(fsm, res.enc, eopts);
       res.metrics = ev.metrics;
     }
+  }
+  if (bud != nullptr && bud->exhausted()) {
+    res.budget_exhausted = true;
+    obs::counter_add("robust.budget_exhausted");
   }
   res.seconds = res.phases.total;
   return res;
@@ -306,6 +347,7 @@ std::string dump_report(const NovaResult& res, int indent) {
   using obs::Json;
   Json j = Json::object();
   j.set("success", res.success);
+  j.set("budget_exhausted", res.budget_exhausted);
   Json metrics = Json::object();
   metrics.set("nbits", res.metrics.nbits);
   metrics.set("cubes", res.metrics.cubes);

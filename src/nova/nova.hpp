@@ -47,6 +47,9 @@ std::vector<std::vector<logic::Cube>> per_output_sops(const EvalResult& ev,
 
 /// Simulates the minimized PLA for one (input, present-code) point.
 /// Returns nbits+num_outputs bits: next-state code then outputs.
+/// Throws std::invalid_argument (never asserts or reads out of range) when
+/// `input_bits` is not exactly num_inputs() characters of {0,1} or when
+/// `state_code` does not fit in the encoding's nbits.
 std::string simulate_pla(const EvalResult& ev, const fsm::Fsm& fsm,
                          const std::string& input_bits, uint64_t state_code);
 
@@ -83,6 +86,14 @@ struct NovaOptions {
   /// to the NOVA_TRACE environment variable. Per-phase seconds in
   /// NovaResult::phases are reported regardless of this flag.
   bool trace = obs::env_trace_enabled();
+  /// Optional cooperative budget threaded through every phase (constraint
+  /// extraction, embedding, final espresso). On exhaustion the run does
+  /// not fail: each phase returns its best-so-far result and the final
+  /// evaluation degrades minimization quality only. Work limits are
+  /// charged per restart attempt (deterministic at any thread count);
+  /// the deadline is shared. Null = unlimited, bit-identical to the
+  /// pre-budget pipeline. See docs/ROBUSTNESS.md.
+  util::Budget* budget = nullptr;
   logic::EspressoOptions espresso;
 };
 
@@ -97,6 +108,9 @@ struct PhaseSeconds {
 
 struct NovaResult {
   bool success = true;       ///< false when iexact exhausted its budget
+  /// True when NovaOptions::budget tripped somewhere in the run; the
+  /// result is still valid, just potentially less optimized.
+  bool budget_exhausted = false;
   Encoding enc;
   PlaMetrics metrics;
   int constraints_total = 0;

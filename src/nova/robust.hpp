@@ -1,0 +1,54 @@
+// Robust (anytime, non-crashing) front door for the encoding pipeline.
+//
+// encode_fsm_robust runs the requested algorithm under a cooperative budget
+// and a degradation ladder: when a rung throws, exhausts the budget without
+// a usable result, or produces an encoding that fails functional
+// verification, the driver downgrades --
+//   requested -> ihybrid -> igreedy -> sequential codes
+// -- and tries again. The sequential rung (codes 0..n-1 at the minimum
+// code length) cannot fail, so a usable, verify-clean encoding is always
+// returned; only a catastrophic double fault yields Status::kFailed.
+// Every downgrade is recorded as a robust.* counter and a span event in
+// the obs run report. See docs/ROBUSTNESS.md.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "nova/nova.hpp"
+#include "nova/verify.hpp"
+#include "util/outcome.hpp"
+
+namespace nova::driver {
+
+struct RobustOptions {
+  /// Functional verification applied to every rung's encoding before it is
+  /// accepted (random-stimulus equivalence against the FSM).
+  VerifyOptions verify;
+  /// When false the ladder is disabled: the requested algorithm either
+  /// succeeds or the outcome is kFailed. Default on.
+  bool allow_downgrade = true;
+  /// Budget for the whole ladder when NovaOptions::budget is null; by
+  /// default the environment knobs (NOVA_DEADLINE_MS / NOVA_WORK_BUDGET)
+  /// are honored. An explicit NovaOptions::budget always wins.
+  bool budget_from_env = true;
+};
+
+struct RobustResult {
+  NovaResult nova;       ///< result of the accepted rung
+  Algorithm used = Algorithm::kIHybrid;  ///< algorithm that produced it
+  bool used_sequential = false;  ///< the bottom (sequential-codes) rung won
+  int downgrades = 0;    ///< rungs abandoned before the accepted one
+  bool verified = false; ///< accepted encoding passed verify_encoding
+  /// One human-readable line per abandoned rung (what failed and why).
+  std::vector<std::string> notes;
+};
+
+/// Never throws; never hangs past the budget by more than one checkpoint
+/// interval. The outcome is usable() unless even the sequential fallback
+/// could not be evaluated and verified.
+util::Outcome<RobustResult> encode_fsm_robust(const fsm::Fsm& fsm,
+                                              const NovaOptions& opts = {},
+                                              const RobustOptions& ropts = {});
+
+}  // namespace nova::driver

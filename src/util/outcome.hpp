@@ -1,0 +1,60 @@
+// Structured phase results for the anytime pipeline: instead of throwing
+// or spinning, a budget-aware entry point reports how it finished and the
+// best result it can stand behind. A usable() outcome always carries a
+// valid value -- "degraded" and "budget_exhausted" mean lower quality, not
+// lower correctness. Only kFailed outcomes carry no value.
+#pragma once
+
+#include <string>
+#include <utility>
+
+#include "util/budget.hpp"
+
+namespace nova::util {
+
+enum class Status {
+  kOk,               ///< completed within budget
+  kBudgetExhausted,  ///< budget ran out; value is the best-so-far result
+  kDegraded,         ///< a fallback path produced the value
+  kFailed,           ///< no valid value could be produced
+};
+
+inline const char* status_name(Status s) {
+  switch (s) {
+    case Status::kOk:
+      return "ok";
+    case Status::kBudgetExhausted:
+      return "budget_exhausted";
+    case Status::kDegraded:
+      return "degraded";
+    case Status::kFailed:
+      return "failed";
+  }
+  return "unknown";
+}
+
+template <typename T>
+struct Outcome {
+  Status status = Status::kOk;
+  T value{};           ///< meaningful iff usable()
+  std::string detail;  ///< human-readable cause (downgrades, faults, ...)
+  BudgetStop stop = BudgetStop::kNone;  ///< which budget dimension tripped
+
+  bool ok() const { return status == Status::kOk; }
+  /// True when `value` is valid (possibly lower quality than requested).
+  bool usable() const { return status != Status::kFailed; }
+
+  static Outcome success(T v) {
+    Outcome o;
+    o.value = std::move(v);
+    return o;
+  }
+  static Outcome failure(std::string why) {
+    Outcome o;
+    o.status = Status::kFailed;
+    o.detail = std::move(why);
+    return o;
+  }
+};
+
+}  // namespace nova::util

@@ -20,6 +20,7 @@
 #include <exception>
 #include <functional>
 #include <mutex>
+#include <system_error>
 #include <thread>
 #include <vector>
 
@@ -39,10 +40,6 @@ class ThreadPool {
   void run_indexed(int count, const std::function<void(int)>& fn) {
     if (count <= 0) return;
     const int workers = std::min(threads_, count);
-    if (workers <= 1) {
-      for (int i = 0; i < count; ++i) fn(i);
-      return;
-    }
     std::atomic<int> next{0};
     std::exception_ptr first_error;
     std::mutex error_mu;
@@ -56,11 +53,23 @@ class ThreadPool {
         }
       }
     };
-    std::vector<std::thread> extra;
-    extra.reserve(workers - 1);
-    for (int t = 1; t < workers; ++t) extra.emplace_back(drain);
-    drain();
-    for (auto& th : extra) th.join();
+    if (workers > 1) {
+      std::vector<std::thread> extra;
+      extra.reserve(workers - 1);
+      // Thread creation can itself throw (resource exhaustion); keep going
+      // with however many workers were spawned rather than terminating with
+      // joinable threads in flight.
+      try {
+        for (int t = 1; t < workers; ++t) extra.emplace_back(drain);
+      } catch (const std::system_error&) {
+        std::lock_guard<std::mutex> lock(error_mu);
+        if (!first_error) first_error = std::current_exception();
+      }
+      drain();
+      for (auto& th : extra) th.join();
+    } else {
+      drain();
+    }
     if (first_error) std::rethrow_exception(first_error);
   }
 

@@ -1,0 +1,305 @@
+// Anytime-budget semantics: the Budget object itself, early return with
+// valid results from espresso and the embedding search, and the driver's
+// degradation ladder (encode_fsm_robust) -- which must produce a verified
+// encoding under any budget, including zero, and reproduce encode_fsm
+// byte-for-byte when no budget is configured.
+#include "util/budget.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench_data/benchmarks.hpp"
+#include "encoding/embed.hpp"
+#include "encoding/poset.hpp"
+#include "logic/espresso.hpp"
+#include "nova/nova.hpp"
+#include "nova/robust.hpp"
+#include "nova/verify.hpp"
+#include "util/outcome.hpp"
+#include "util/rng.hpp"
+
+using namespace nova;
+using nova::util::Budget;
+using nova::util::BudgetStop;
+
+TEST(Budget, UnlimitedByDefault) {
+  Budget b;
+  EXPECT_FALSE(b.limited());
+  for (int i = 0; i < 10000; ++i) EXPECT_TRUE(b.charge());
+  EXPECT_TRUE(b.checkpoint());
+  EXPECT_FALSE(b.exhausted());
+  EXPECT_EQ(b.stop_reason(), BudgetStop::kNone);
+}
+
+TEST(Budget, WorkLimitTripsAndSticks) {
+  Budget b;
+  b.set_work_limit(10);
+  EXPECT_TRUE(b.limited());
+  for (int i = 0; i < 10; ++i) EXPECT_TRUE(b.charge()) << i;
+  EXPECT_FALSE(b.charge());
+  EXPECT_TRUE(b.exhausted());
+  EXPECT_EQ(b.stop_reason(), BudgetStop::kWork);
+  // Sticky: no probe ever succeeds again.
+  EXPECT_FALSE(b.charge());
+  EXPECT_FALSE(b.checkpoint());
+  EXPECT_FALSE(b.charge_alloc(1));
+}
+
+TEST(Budget, AllocCapTrips) {
+  Budget b;
+  b.set_alloc_limit(1000);
+  EXPECT_TRUE(b.charge_alloc(600));
+  EXPECT_TRUE(b.charge_alloc(400));
+  EXPECT_FALSE(b.charge_alloc(1));
+  EXPECT_EQ(b.stop_reason(), BudgetStop::kAlloc);
+}
+
+TEST(Budget, CancelTripsFromOutside) {
+  Budget b;
+  EXPECT_TRUE(b.charge());
+  b.cancel();
+  EXPECT_FALSE(b.charge());
+  EXPECT_EQ(b.stop_reason(), BudgetStop::kCancelled);
+}
+
+TEST(Budget, PastDeadlineTripsOnCheckpoint) {
+  Budget b;
+  b.set_deadline(Budget::Clock::now() - std::chrono::milliseconds(1));
+  EXPECT_FALSE(b.checkpoint());
+  EXPECT_EQ(b.stop_reason(), BudgetStop::kDeadline);
+}
+
+TEST(Budget, FirstTripReasonWins) {
+  Budget b;
+  b.set_work_limit(0);
+  EXPECT_FALSE(b.charge());
+  b.cancel();  // must not overwrite the original reason
+  EXPECT_EQ(b.stop_reason(), BudgetStop::kWork);
+}
+
+TEST(Budget, ForkAttemptGetsFreshCountersAndSameLimits) {
+  Budget b;
+  b.set_work_limit(5);
+  for (int i = 0; i < 3; ++i) b.charge();
+  Budget child = b.fork_attempt();
+  EXPECT_EQ(child.work_used(), 0);
+  EXPECT_EQ(child.work_limit(), 5);
+  for (int i = 0; i < 5; ++i) EXPECT_TRUE(child.charge()) << i;
+  EXPECT_FALSE(child.charge());
+  // The child tripping does not touch the parent.
+  EXPECT_FALSE(b.exhausted());
+}
+
+TEST(Budget, ForkAttemptPropagatesTrippedState) {
+  Budget b;
+  b.cancel();
+  Budget child = b.fork_attempt();
+  EXPECT_TRUE(child.exhausted());
+  EXPECT_EQ(child.stop_reason(), BudgetStop::kCancelled);
+}
+
+TEST(Budget, FromEnvReadsKnobs) {
+  ASSERT_EQ(setenv("NOVA_WORK_BUDGET", "1234", 1), 0);
+  ASSERT_EQ(unsetenv("NOVA_DEADLINE_MS"), 0);
+  Budget b = Budget::from_env();
+  EXPECT_TRUE(b.limited());
+  EXPECT_EQ(b.work_limit(), 1234);
+  ASSERT_EQ(unsetenv("NOVA_WORK_BUDGET"), 0);
+  EXPECT_FALSE(Budget::from_env().limited());
+}
+
+namespace {
+
+logic::Cover random_cover(const logic::CubeSpec& spec, int cubes,
+                          uint64_t seed) {
+  util::Rng rng(seed);
+  logic::Cover c(spec);
+  const int n = spec.num_vars() - 1;
+  for (int i = 0; i < cubes; ++i) {
+    logic::Cube q = logic::Cube::full(spec);
+    std::string bits(n, '0');
+    for (int v = 0; v < n; ++v)
+      bits[v] = "01-"[rng.uniform(3)];
+    q.set_binary_from_pla(spec, 0, bits);
+    c.add(q);
+  }
+  return c;
+}
+
+bool minterm_covered(const logic::Cover& F, unsigned m, int n) {
+  logic::Cube q = logic::Cube::full(F.spec());
+  std::string s(n, '0');
+  for (int i = 0; i < n; ++i) s[i] = (m >> i) & 1 ? '1' : '0';
+  q.set_binary_from_pla(F.spec(), 0, s);
+  return logic::covers_minterm(F, q);
+}
+
+}  // namespace
+
+TEST(AnytimeEspresso, ExhaustedRunStillReturnsValidCover) {
+  const int n = 6;
+  logic::CubeSpec spec = logic::CubeSpec::binary(n);
+  logic::Cover on = random_cover(spec, 20, 5);
+  logic::Cover dc(spec);
+  for (long limit : {0L, 1L, 10L, 100L}) {
+    util::Budget bud;
+    bud.set_work_limit(limit);
+    logic::EspressoOptions opts;
+    opts.budget = &bud;
+    logic::EspressoStats stats;
+    logic::Cover r = logic::espresso(on, dc, opts, &stats);
+    // ON subseteq R subseteq ON (dc empty): same function, any cube count.
+    for (unsigned m = 0; m < (1u << n); ++m) {
+      EXPECT_EQ(minterm_covered(r, m, n), minterm_covered(on, m, n))
+          << "limit=" << limit << " minterm=" << m;
+    }
+  }
+}
+
+TEST(AnytimeEspresso, TinyBudgetSetsExhaustedFlag) {
+  logic::CubeSpec spec = logic::CubeSpec::binary(6);
+  logic::Cover on = random_cover(spec, 20, 5);
+  util::Budget bud;
+  bud.set_work_limit(1);
+  logic::EspressoOptions opts;
+  opts.budget = &bud;
+  logic::EspressoStats stats;
+  logic::espresso(on, logic::Cover(spec), opts, &stats);
+  EXPECT_TRUE(stats.budget_exhausted);
+  EXPECT_TRUE(bud.exhausted());
+}
+
+TEST(AnytimeEspresso, NullAndUnlimitedBudgetAreIdentical) {
+  logic::CubeSpec spec = logic::CubeSpec::binary(7);
+  logic::Cover on = random_cover(spec, 24, 11);
+  logic::Cover plain = logic::espresso(on);
+  util::Budget bud;  // unlimited
+  logic::EspressoOptions opts;
+  opts.budget = &bud;
+  logic::Cover budgeted = logic::espresso(on, logic::Cover(spec), opts);
+  ASSERT_EQ(plain.size(), budgeted.size());
+  for (int i = 0; i < plain.size(); ++i)
+    EXPECT_TRUE(plain[i] == budgeted[i]) << i;
+}
+
+TEST(AnytimeEmbed, IExactSurfacesExhaustion) {
+  // A constraint set iexact cannot settle within one work unit.
+  std::vector<encoding::InputConstraint> ics;
+  util::Rng rng(3);
+  for (int i = 0; i < 10; ++i) {
+    util::BitVec s(12);
+    while (s.count() < 3) s.set(rng.uniform(12));
+    ics.push_back({s, 1});
+  }
+  encoding::InputGraph ig(ics, 12);
+  util::Budget bud;
+  bud.set_work_limit(1);
+  encoding::ExactOptions opts;
+  opts.budget = &bud;
+  encoding::ExactResult r = encoding::iexact_code(ig, opts);
+  EXPECT_TRUE(r.exhausted);
+  EXPECT_FALSE(r.success);
+}
+
+TEST(RobustLadder, ZeroWorkBudgetYieldsVerifiedEncoding) {
+  fsm::Fsm f = bench_data::load_benchmark("bbara");
+  util::Budget bud;
+  bud.set_work_limit(0);
+  driver::NovaOptions opts;
+  opts.budget = &bud;
+  auto outcome = driver::encode_fsm_robust(f, opts);
+  ASSERT_TRUE(outcome.usable()) << outcome.detail;
+  EXPECT_NE(outcome.status, util::Status::kOk);
+  const auto& rr = outcome.value;
+  EXPECT_TRUE(rr.verified);
+  ASSERT_EQ(rr.nova.enc.num_states(), f.num_states());
+  EXPECT_TRUE(rr.nova.enc.injective());
+  auto vr = driver::verify_encoding(f, rr.nova.enc);
+  EXPECT_TRUE(vr.equivalent) << vr.detail;
+}
+
+TEST(RobustLadder, PastDeadlineYieldsVerifiedEncoding) {
+  fsm::Fsm f = bench_data::load_benchmark("dk14");
+  util::Budget bud;
+  bud.set_deadline(Budget::Clock::now() - std::chrono::milliseconds(1));
+  driver::NovaOptions opts;
+  opts.budget = &bud;
+  auto outcome = driver::encode_fsm_robust(f, opts);
+  ASSERT_TRUE(outcome.usable()) << outcome.detail;
+  EXPECT_TRUE(outcome.value.verified);
+  EXPECT_TRUE(outcome.value.nova.enc.injective());
+}
+
+TEST(RobustLadder, IExactExhaustionDowngradesToUsableEncoding) {
+  fsm::Fsm f = bench_data::load_benchmark("bbara");
+  driver::NovaOptions opts;
+  opts.algorithm = driver::Algorithm::kIExact;
+  opts.exact_work = 1;  // force the iexact rung to fail
+  auto outcome = driver::encode_fsm_robust(f, opts);
+  ASSERT_TRUE(outcome.usable()) << outcome.detail;
+  EXPECT_EQ(outcome.status, util::Status::kDegraded);
+  EXPECT_GE(outcome.value.downgrades, 1);
+  EXPECT_TRUE(outcome.value.verified);
+}
+
+TEST(RobustLadder, NoBudgetMatchesEncodeFsmExactly) {
+  // With no budget configured the robust path must be a pass-through:
+  // same algorithm, byte-identical encoding, identical metrics.
+  for (const char* name : {"bbara", "dk14", "lion", "train11", "shiftreg"}) {
+    fsm::Fsm f = bench_data::load_benchmark(name);
+    driver::NovaOptions opts;
+    driver::NovaResult want = driver::encode_fsm(f, opts);
+    driver::RobustOptions ropts;
+    ropts.budget_from_env = false;
+    auto outcome = driver::encode_fsm_robust(f, opts, ropts);
+    ASSERT_TRUE(outcome.ok()) << name << ": " << outcome.detail;
+    const auto& got = outcome.value;
+    EXPECT_EQ(got.downgrades, 0) << name;
+    EXPECT_FALSE(got.used_sequential) << name;
+    EXPECT_EQ(got.nova.enc.nbits, want.enc.nbits) << name;
+    EXPECT_EQ(got.nova.enc.codes, want.enc.codes) << name;
+    EXPECT_EQ(got.nova.metrics.cubes, want.metrics.cubes) << name;
+    EXPECT_EQ(got.nova.metrics.area, want.metrics.area) << name;
+  }
+}
+
+TEST(RobustLadder, TableBenchmarksUnchangedByUnlimitedBudget) {
+  // An unlimited Budget object threaded through the pipeline must also be
+  // a no-op: every charge succeeds, so no early-out path can fire. Spot
+  // check a slice of the Table I / Table V workload.
+  for (const char* name : {"dk27", "bbtas", "beecount", "lion9", "modulo12"}) {
+    fsm::Fsm f = bench_data::load_benchmark(name);
+    driver::NovaOptions plain;
+    driver::NovaResult want = driver::encode_fsm(f, plain);
+    util::Budget bud;  // no limits
+    driver::NovaOptions budgeted;
+    budgeted.budget = &bud;
+    driver::NovaResult got = driver::encode_fsm(f, budgeted);
+    EXPECT_FALSE(got.budget_exhausted) << name;
+    EXPECT_EQ(got.enc.nbits, want.enc.nbits) << name;
+    EXPECT_EQ(got.enc.codes, want.enc.codes) << name;
+    EXPECT_EQ(got.metrics.area, want.metrics.area) << name;
+  }
+}
+
+TEST(RobustLadder, WorkBudgetLadderIsDeterministic) {
+  fsm::Fsm f = bench_data::load_benchmark("bbara");
+  auto run = [&] {
+    util::Budget bud;
+    bud.set_work_limit(500);
+    driver::NovaOptions opts;
+    opts.budget = &bud;
+    auto outcome = driver::encode_fsm_robust(f, opts);
+    EXPECT_TRUE(outcome.usable()) << outcome.detail;
+    return outcome.value.nova.enc;
+  };
+  encoding::Encoding first = run();
+  for (int i = 0; i < 3; ++i) {
+    encoding::Encoding again = run();
+    EXPECT_EQ(again.nbits, first.nbits);
+    EXPECT_EQ(again.codes, first.codes);
+  }
+}

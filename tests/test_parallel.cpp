@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "encoding/hybrid.hpp"
+#include "util/budget.hpp"
 #include "util/rng.hpp"
 #include "util/thread_pool.hpp"
 
@@ -69,6 +70,38 @@ TEST(ThreadPool, PropagatesTaskExceptions) {
                                   if (i == 37) throw std::runtime_error("37");
                                 }),
                std::runtime_error);
+}
+
+TEST(ThreadPool, RemainingTasksRunAfterAThrow) {
+  // The contract: the first exception is rethrown after the join, and every
+  // other index still runs -- on any thread count, including 1.
+  for (int threads : {1, 4}) {
+    ThreadPool pool(threads);
+    std::vector<std::atomic<int>> hits(40);
+    for (auto& h : hits) h.store(0);
+    EXPECT_THROW(pool.run_indexed(40,
+                                  [&](int i) {
+                                    hits[i].fetch_add(1);
+                                    if (i == 3) throw std::runtime_error("3");
+                                  }),
+                 std::runtime_error) << "threads=" << threads;
+    for (int i = 0; i < 40; ++i)
+      EXPECT_EQ(hits[i].load(), 1) << "threads=" << threads << " i=" << i;
+  }
+}
+
+TEST(ThreadPool, FirstThrownExceptionWinsOnSingleThread) {
+  // Single-thread execution is in index order, so "first" is index 5.
+  ThreadPool pool(1);
+  try {
+    pool.run_indexed(20, [&](int i) {
+      if (i == 5) throw std::runtime_error("five");
+      if (i == 11) throw std::logic_error("eleven");
+    });
+    FAIL() << "expected a throw";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "five");
+  }
 }
 
 TEST(ThreadPool, DefaultThreadsIsPositive) {
@@ -145,6 +178,59 @@ TEST(ParallelRestarts, IGreedySingleRestartMatchesLegacy) {
   EXPECT_EQ(got.enc.nbits, legacy.enc.nbits);
   EXPECT_EQ(got.enc.codes, legacy.enc.codes);
   EXPECT_EQ(got.unsatisfied, legacy.unsatisfied);
+}
+
+TEST(ParallelRestarts, IHybridWorkBudgetIdenticalAcrossThreadCounts) {
+  // Work budgets are charged per restart attempt (Budget::fork_attempt),
+  // so exhaustion points depend only on the attempt index -- the same
+  // limit must yield byte-identical encodings at 1, 2 and 8 threads.
+  auto ics = synthetic_constraints(24, 18, 42);
+  for (long limit : {50L, 500L, 5000L}) {
+    nova::util::Budget ref_budget;
+    ref_budget.set_work_limit(limit);
+    HybridOptions base;
+    base.restarts = 6;
+    base.threads = 1;
+    base.budget = &ref_budget;
+    HybridResult want = ihybrid_code(ics, 24, base);
+    for (int threads : {2, 8}) {
+      nova::util::Budget bud;
+      bud.set_work_limit(limit);
+      HybridOptions ho = base;
+      ho.threads = threads;
+      ho.budget = &bud;
+      HybridResult got = ihybrid_code(ics, 24, ho);
+      EXPECT_EQ(got.enc.nbits, want.enc.nbits)
+          << "limit=" << limit << " threads=" << threads;
+      EXPECT_EQ(got.enc.codes, want.enc.codes)
+          << "limit=" << limit << " threads=" << threads;
+    }
+  }
+}
+
+TEST(ParallelRestarts, IGreedyWorkBudgetIdenticalAcrossThreadCounts) {
+  auto ics = synthetic_constraints(24, 18, 57);
+  for (long limit : {50L, 1000L}) {
+    nova::util::Budget ref_budget;
+    ref_budget.set_work_limit(limit);
+    GreedyOptions base;
+    base.restarts = 6;
+    base.threads = 1;
+    base.budget = &ref_budget;
+    GreedyResult want = igreedy_code(ics, 24, base);
+    for (int threads : {2, 8}) {
+      nova::util::Budget bud;
+      bud.set_work_limit(limit);
+      GreedyOptions go = base;
+      go.threads = threads;
+      go.budget = &bud;
+      GreedyResult got = igreedy_code(ics, 24, go);
+      EXPECT_EQ(got.enc.nbits, want.enc.nbits)
+          << "limit=" << limit << " threads=" << threads;
+      EXPECT_EQ(got.enc.codes, want.enc.codes)
+          << "limit=" << limit << " threads=" << threads;
+    }
+  }
 }
 
 TEST(ParallelRestarts, IGreedyRestartsNeverWorseThanLegacy) {

@@ -2,8 +2,12 @@
 // random-text fuzz sweep exercises the parsers' error paths.
 #include <gtest/gtest.h>
 
+#include <chrono>
+#include <stdexcept>
+
 #include "fsm/kiss_io.hpp"
 #include "logic/pla_io.hpp"
+#include "nova/nova.hpp"
 #include "util/rng.hpp"
 
 using namespace nova;
@@ -70,6 +74,79 @@ TEST(Robustness, KissStructuredMutations) {
     } catch (const std::runtime_error&) {
     }
   }
+}
+
+TEST(Robustness, KissHeaderCapsRejectHostileDeclarations) {
+  // A declared count past the hard cap must fail fast with a clear message
+  // -- long before any allocation proportional to the count happens.
+  struct Case {
+    const char* text;
+    const char* needle;
+  };
+  const Case cases[] = {
+      {".i 100000000\n.o 1\n0 a b 1\n", "input cap"},
+      {".i 1\n.o 100000000\n0 a b 1\n", "output cap"},
+      {".i 1\n.o 1\n.s 100000000\n0 a b 1\n", "state cap"},
+      {".i 1\n.o 1\n.p 2000000000\n0 a b 1\n", "term cap"},
+  };
+  for (const auto& c : cases) {
+    auto t0 = std::chrono::steady_clock::now();
+    try {
+      fsm::parse_kiss_string(c.text);
+      FAIL() << "expected a throw for: " << c.text;
+    } catch (const std::runtime_error& e) {
+      EXPECT_NE(std::string(e.what()).find(c.needle), std::string::npos)
+          << e.what();
+    }
+    double secs = std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - t0)
+                      .count();
+    EXPECT_LT(secs, 1.0) << "rejection must not allocate first";
+  }
+}
+
+TEST(Robustness, PlaHeaderCapsRejectHostileDeclarations) {
+  try {
+    logic::parse_pla_string(".i 100000000\n.o 1\n");
+    FAIL() << "expected a throw";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("input cap"), std::string::npos)
+        << e.what();
+  }
+  try {
+    logic::parse_pla_string(".i 2\n.o 100000000\n");
+    FAIL() << "expected a throw";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("output cap"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(Robustness, SimulatePlaRejectsBadStimulusStructurally) {
+  const std::string text =
+      ".i 2\n.o 1\n.r a\n"
+      "00 a a 0\n01 a b 1\n10 b a 0\n11 b b 1\n";
+  fsm::Fsm f = fsm::parse_kiss_string(text, "tiny");
+  driver::NovaOptions opts;
+  driver::NovaResult r = driver::encode_fsm(f, opts);
+  driver::EvalResult ev = driver::evaluate_encoding(f, r.enc);
+
+  // Valid call works.
+  EXPECT_NO_THROW(driver::simulate_pla(ev, f, "01", r.enc.codes[0]));
+  // Wrong-width input vector.
+  EXPECT_THROW(driver::simulate_pla(ev, f, "0", r.enc.codes[0]),
+               std::invalid_argument);
+  EXPECT_THROW(driver::simulate_pla(ev, f, "011", r.enc.codes[0]),
+               std::invalid_argument);
+  // Non-binary characters.
+  EXPECT_THROW(driver::simulate_pla(ev, f, "0-", r.enc.codes[0]),
+               std::invalid_argument);
+  EXPECT_THROW(driver::simulate_pla(ev, f, "2x", r.enc.codes[0]),
+               std::invalid_argument);
+  // State code outside the encoding's bit width.
+  const uint64_t too_big = uint64_t{1} << r.enc.nbits;
+  EXPECT_THROW(driver::simulate_pla(ev, f, "01", too_big),
+               std::invalid_argument);
 }
 
 TEST(Robustness, DeepNestingNoStackIssues) {
