@@ -14,6 +14,7 @@
 
 #include "encoding/embed.hpp"
 #include "encoding/polish.hpp"
+#include "util/fileio.hpp"
 
 #ifndef NOVA_GIT_SHA
 #define NOVA_GIT_SHA "unknown"
@@ -48,15 +49,14 @@ void write_trajectory() {
   obs::Json doc = obs::Json::object();
   doc.set("version", 1);
   doc.set("entries", obs::Json(t.entries));
-  std::FILE* f = std::fopen(path.c_str(), "w");
-  if (!f) {
+  std::string text = doc.dump(2);
+  text += '\n';
+  // Atomic replace: a crash (or a SIGKILL'd CI job) mid-write must leave
+  // the previous complete BENCH_*.json, never a truncated one.
+  if (!util::write_file_atomic(path, text)) {
     std::fprintf(stderr, "obs: cannot write %s\n", path.c_str());
     return;
   }
-  std::string text = doc.dump(2);
-  text += '\n';
-  std::fwrite(text.data(), 1, text.size(), f);
-  std::fclose(f);
   std::fprintf(stderr, "obs: wrote %zu trajectory entries to %s\n",
                t.entries.size(), path.c_str());
 }
@@ -154,15 +154,12 @@ void write_perf_report() {
   }
   doc.set("entries", std::move(entries));
 
-  std::FILE* f = std::fopen(path.c_str(), "w");
-  if (!f) {
+  std::string text = doc.dump(2);
+  text += '\n';
+  if (!util::write_file_atomic(path, text)) {
     std::fprintf(stderr, "perf: cannot write %s\n", path.c_str());
     return;
   }
-  std::string text = doc.dump(2);
-  text += '\n';
-  std::fwrite(text.data(), 1, text.size(), f);
-  std::fclose(f);
   std::fprintf(stderr, "perf: wrote %zu entries to %s\n", r.entries.size(),
                path.c_str());
 }

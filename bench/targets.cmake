@@ -38,3 +38,5 @@ set_target_properties(bench_micro PROPERTIES RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BI
 nova_bench(bench_ablation)
 nova_bench(bench_asterisk)
 nova_bench(bench_exactmin)
+nova_bench(bench_serve)
+target_link_libraries(bench_serve PRIVATE nova_serve)

@@ -7,6 +7,14 @@
 //     -p          print the encoded, minimized PLA (espresso .pla format)
 //     -v          verbose: constraints and satisfaction report
 //     -d          print the state graph as Graphviz DOT
+//
+// Batch mode (see nova_serve for the full front end):
+//   nova_cli --batch <manifest> [--journal PATH] [--resume] [--out DIR]
+//            [--report PATH] [--threads N] [-e alg]
+//
+// SIGINT/SIGTERM drain gracefully in both modes: the in-flight run unwinds
+// at its next budget checkpoint and still emits valid (possibly degraded)
+// .code lines; a second signal hard-exits.
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -21,6 +29,8 @@
 #include "logic/pla_io.hpp"
 #include "nova/nova.hpp"
 #include "nova/robust.hpp"
+#include "serve/drain.hpp"
+#include "serve/serve.hpp"
 
 namespace {
 
@@ -33,8 +43,50 @@ nova::fsm::Fsm load(const std::string& arg) {
 int usage() {
   std::fprintf(stderr,
                "usage: nova_cli <machine.kiss|builtin> [-e alg] [-n bits] "
-               "[-p] [-v]\n");
+               "[-p] [-v]\n"
+               "       nova_cli --batch <manifest> [--journal PATH] "
+               "[--resume] [--out DIR]\n"
+               "                [--report PATH] [--threads N] [-e alg]\n");
   return 2;
+}
+
+int batch_main(int argc, char** argv) {
+  using namespace nova;
+  if (argc < 3) return usage();
+  serve::BatchOptions bopts;
+  driver::Algorithm alg = driver::Algorithm::kIHybrid;
+  for (int i = 3; i < argc; ++i) {
+    std::string a = argv[i];
+    if (a == "--journal" && i + 1 < argc) bopts.journal_path = argv[++i];
+    else if (a == "--resume") bopts.resume = true;
+    else if (a == "--out" && i + 1 < argc) bopts.out_dir = argv[++i];
+    else if (a == "--report" && i + 1 < argc) bopts.report_path = argv[++i];
+    else if (a == "--threads" && i + 1 < argc)
+      bopts.threads = std::atoi(argv[++i]);
+    else if (a == "-e" && i + 1 < argc) {
+      if (!serve::parse_algorithm(argv[++i], &alg)) return usage();
+    } else {
+      return usage();
+    }
+  }
+  try {
+    auto jobs = serve::parse_manifest_file(argv[2], alg);
+    util::Budget budget = util::Budget::from_env();
+    bopts.budget = &budget;
+    serve::install_signal_handlers();
+    serve::set_signal_budget(&budget);
+    auto res = serve::run_batch(jobs, bopts);
+    serve::set_signal_budget(nullptr);
+    std::printf("%s", res.concatenated_outputs().c_str());
+    std::fprintf(stderr,
+                 "# batch: %d done, %d degraded, %d failed, %d pending%s\n",
+                 res.done, res.degraded, res.failed, res.pending,
+                 res.drained ? " [drained]" : "");
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
 }
 
 }  // namespace
@@ -42,6 +94,7 @@ int usage() {
 int main(int argc, char** argv) {
   using namespace nova;
   if (argc < 2) return usage();
+  if (std::strcmp(argv[1], "--batch") == 0) return batch_main(argc, argv);
   driver::NovaOptions opts;
   bool print_pla = false, verbose = false, print_dot = false;
   for (int i = 2; i < argc; ++i) {
@@ -83,16 +136,22 @@ int main(int argc, char** argv) {
     return 0;
   }
 
-  // Under a budget (NOVA_DEADLINE_MS / NOVA_WORK_BUDGET) or armed fault
-  // injection (NOVA_FAULT), go through the robust front door: the run
-  // always emits a valid, verified encoding and exits 0, downgrading the
-  // algorithm if it must. Otherwise the legacy path keeps the output
+  // Every run goes through the robust front door with a cancellable budget
+  // registered with the signal handler: a SIGINT/SIGTERM mid-run trips the
+  // budget, the ladder unwinds at its next checkpoint, and the process
+  // still emits a valid (possibly degraded) encoding and exits 0. On the
+  // happy path the first rung is plain encode_fsm, so stdout stays
   // byte-identical to earlier releases.
+  util::Budget budget = util::Budget::from_env();
+  serve::install_signal_handlers();
+  serve::set_signal_budget(&budget);
+  opts.budget = &budget;
   driver::NovaResult r;
-  if (util::Budget::from_env().limited() || check::fault::armed()) {
+  {
     auto outcome = driver::encode_fsm_robust(f, opts);
     if (!outcome.usable()) {
       std::fprintf(stderr, "error: %s\n", outcome.detail.c_str());
+      serve::set_signal_budget(nullptr);
       return 1;
     }
     if (!outcome.ok()) {
@@ -103,10 +162,12 @@ int main(int argc, char** argv) {
     }
     if (outcome.value.used_sequential)
       std::fprintf(stderr, "# robust: fell back to sequential codes\n");
+    if (serve::drain_requested())
+      std::fprintf(stderr, "# robust: drained by signal %d\n",
+                   serve::drain_signal());
     r = std::move(outcome.value.nova);
-  } else {
-    r = driver::encode_fsm(f, opts);
   }
+  serve::set_signal_budget(nullptr);
   if (!r.success) {
     std::fprintf(stderr, "encoding failed (iexact budget exhausted?)\n");
     return 1;

@@ -1,0 +1,158 @@
+// nova_serve: crash-safe batch serving front end.
+//
+//   nova_serve --manifest jobs.txt [options]
+//
+//   --manifest PATH       one job per line: <spec> [alg=..] [nbits=..]
+//                         [seed=..] [class=..]; '#' comments
+//   --journal PATH        write-ahead JSONL journal (enables --resume)
+//   --resume              replay the journal; skip jobs already terminal
+//   --out DIR             write each job's .code output to DIR/<id>.code
+//   --report PATH         final JSON batch report (written atomically)
+//   --threads N           worker threads (default 1)
+//   --alg NAME            default algorithm for manifest lines without alg=
+//   --retries N           attempts per job (default 3)
+//   --breaker K           consecutive hard failures that open a class's
+//                         circuit breaker (default 3)
+//   --breaker-cooldown N  virtual units before a half-open probe (default 512)
+//   --job-deadline-ms N   per-attempt wall-clock deadline
+//   --job-work N          per-attempt work-unit budget
+//   --deadline-ms N       whole-batch deadline (drains when it passes)
+//   --fault-rate P        soak mode: arm a seeded random fault on a fraction
+//   --fault-seed N        P of attempts (deterministic in seed/job/attempt)
+//   --print               print concatenated outputs to stdout
+//   --replay PATH         print a journal summary and exit
+//   --list-builtins       print builtin benchmark names (manifest seeds)
+//
+// Exit status: 0 when every job reached a terminal state OR the batch was
+// gracefully drained (SIGINT/SIGTERM/deadline) with a valid journal; 1 on a
+// batch-level error; 2 on usage errors.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "bench_data/benchmarks.hpp"
+#include "serve/drain.hpp"
+#include "serve/serve.hpp"
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: nova_serve --manifest PATH [--journal PATH] [--resume]\n"
+               "                  [--out DIR] [--report PATH] [--threads N]\n"
+               "                  [--alg NAME] [--retries N] [--breaker K]\n"
+               "                  [--breaker-cooldown N] [--job-deadline-ms N]\n"
+               "                  [--job-work N] [--deadline-ms N]\n"
+               "                  [--fault-rate P] [--fault-seed N] [--print]\n"
+               "       nova_serve --replay PATH | --list-builtins\n");
+  return 2;
+}
+
+int replay(const std::string& path) {
+  nova::serve::ReplayResult rep = nova::serve::replay_journal(path);
+  std::printf("journal %s: %d records, %zu jobs%s%s\n", path.c_str(),
+              rep.records, rep.jobs.size(),
+              rep.truncated_tail ? ", torn tail" : "",
+              rep.drained ? ", drained" : "");
+  for (const auto& [id, st] : rep.jobs) {
+    std::printf("  %-24s %-9s attempts=%d%s%s%s%s\n", id.c_str(),
+                st.terminal.empty() ? "pending" : st.terminal.c_str(),
+                st.attempts, st.digest.empty() ? "" : " digest=",
+                st.digest.c_str(), st.cause.empty() ? "" : " cause=",
+                st.cause.c_str());
+  }
+  for (const std::string& e : rep.errors)
+    std::fprintf(stderr, "corrupt: %s\n", e.c_str());
+  if (!rep.clean()) return 1;
+  std::printf("accounting: %s\n",
+              rep.fully_accounted() ? "every queued job is terminal"
+                                    : "pending jobs remain (resumable)");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace nova;
+  std::string manifest_path, replay_path;
+  serve::BatchOptions opts;
+  driver::Algorithm default_alg = driver::Algorithm::kIHybrid;
+  long batch_deadline_ms = 0;
+  bool print_outputs = false, list_builtins = false;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string a = argv[i];
+    auto val = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    const char* v = nullptr;
+    if (a == "--manifest" && (v = val())) manifest_path = v;
+    else if (a == "--journal" && (v = val())) opts.journal_path = v;
+    else if (a == "--out" && (v = val())) opts.out_dir = v;
+    else if (a == "--report" && (v = val())) opts.report_path = v;
+    else if (a == "--resume") opts.resume = true;
+    else if (a == "--threads" && (v = val())) opts.threads = std::atoi(v);
+    else if (a == "--alg" && (v = val())) {
+      if (!serve::parse_algorithm(v, &default_alg)) return usage();
+    }
+    else if (a == "--retries" && (v = val()))
+      opts.retry.max_attempts = std::atoi(v);
+    else if (a == "--breaker" && (v = val()))
+      opts.breaker_threshold = std::atoi(v);
+    else if (a == "--breaker-cooldown" && (v = val()))
+      opts.breaker_cooldown_units = std::atol(v);
+    else if (a == "--job-deadline-ms" && (v = val()))
+      opts.job_deadline_ms = std::atol(v);
+    else if (a == "--job-work" && (v = val()))
+      opts.job_work_budget = std::atol(v);
+    else if (a == "--deadline-ms" && (v = val()))
+      batch_deadline_ms = std::atol(v);
+    else if (a == "--fault-rate" && (v = val()))
+      opts.fault_rate = std::atof(v);
+    else if (a == "--fault-seed" && (v = val()))
+      opts.fault_seed = std::strtoull(v, nullptr, 10);
+    else if (a == "--print") print_outputs = true;
+    else if (a == "--replay" && (v = val())) replay_path = v;
+    else if (a == "--list-builtins") list_builtins = true;
+    else return usage();
+  }
+
+  if (list_builtins) {
+    for (const auto& b : bench_data::table1_benchmarks())
+      std::printf("%s\n", b.name.c_str());
+    for (const auto& b : bench_data::table5_extras())
+      std::printf("%s\n", b.name.c_str());
+    return 0;
+  }
+  if (!replay_path.empty()) return replay(replay_path);
+  if (manifest_path.empty()) return usage();
+
+  try {
+    std::vector<serve::JobSpec> jobs =
+        serve::parse_manifest_file(manifest_path, default_alg);
+
+    util::Budget batch_budget;
+    if (batch_deadline_ms > 0) batch_budget.set_deadline_ms(batch_deadline_ms);
+    opts.budget = &batch_budget;
+    serve::install_signal_handlers();
+    serve::set_signal_budget(&batch_budget);
+
+    serve::BatchResult res = serve::run_batch(jobs, opts);
+    serve::set_signal_budget(nullptr);
+
+    std::fprintf(stderr,
+                 "# serve: %zu jobs: %d done, %d degraded, %d failed, "
+                 "%d pending (%d resumed, %d retries, %d breaker trips)%s\n",
+                 res.jobs.size(), res.done, res.degraded, res.failed,
+                 res.pending, res.resumed_skips, res.retries,
+                 res.breaker_trips, res.drained ? " [drained]" : "");
+    if (print_outputs)
+      std::printf("%s", res.concatenated_outputs().c_str());
+    // Drain is a success: partial results + a resumable journal, by design.
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

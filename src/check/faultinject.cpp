@@ -2,13 +2,14 @@
 
 #include <atomic>
 #include <cstdlib>
+#include <cstring>
 #include <mutex>
 
 namespace nova::check::fault {
 
 namespace {
 
-// Keep in sync with the probe calls in the pipeline; the sweep test and
+// Keep in sync with the probe calls in the pipeline; the sweep tests and
 // docs/ROBUSTNESS.md enumerate exactly this list.
 const char* const kSites[] = {
     "kiss.parse",           // fsm/kiss_io.cpp, after the header scan
@@ -20,16 +21,23 @@ const char* const kSites[] = {
     "exact.minimize",       // logic/exact.cpp, before branch-and-bound
     "driver.evaluate",      // nova/nova.cpp, encoded-PLA evaluation
     "driver.verify",        // nova/robust.cpp, ladder verification step
+    "serve.journal",        // serve/journal.cpp, per journal append
+    "serve.job",            // serve/serve.cpp, before each job attempt
+    "serve.report",         // serve/serve.cpp, final batch-report write
 };
 
+// Every mutable slot is an atomic so that arm()/disarm() from one thread
+// while other threads probe is a data race on nothing: the batch server's
+// soak mode re-arms per attempt from worker threads. `site` points into
+// kSites (string literals with static storage), never at owned memory.
 struct State {
   std::atomic<bool> armed{false};
-  std::string site;
-  long nth = 1;
-  Kind kind = Kind::kError;
+  std::atomic<const char*> site{nullptr};
+  std::atomic<long> nth{1};
+  std::atomic<Kind> kind{Kind::kError};
   std::atomic<long> hits{0};
   std::atomic<bool> fired{false};
-  std::mutex mu;
+  std::mutex mu;  ///< serializes writers only
 };
 
 State& state() {
@@ -37,11 +45,11 @@ State& state() {
   return s;
 }
 
-bool known_site(const std::string& site) {
+const char* canonical_site(const std::string& site) {
   for (const char* s : kSites) {
-    if (site == s) return true;
+    if (site == s) return s;
   }
-  return false;
+  return nullptr;
 }
 
 void arm_locked(State& s, const std::string& spec) {
@@ -49,10 +57,10 @@ void arm_locked(State& s, const std::string& spec) {
   if (c1 == std::string::npos || c1 == 0)
     throw std::invalid_argument("NOVA_FAULT spec must be site:nth[:kind]: " +
                                 spec);
-  std::string site = spec.substr(0, c1);
-  if (!known_site(site))
-    throw std::invalid_argument("NOVA_FAULT names unknown site '" + site +
-                                "'");
+  const char* site = canonical_site(spec.substr(0, c1));
+  if (site == nullptr)
+    throw std::invalid_argument("NOVA_FAULT names unknown site '" +
+                                spec.substr(0, c1) + "'");
   auto c2 = spec.find(':', c1 + 1);
   std::string nth_str = spec.substr(
       c1 + 1, c2 == std::string::npos ? std::string::npos : c2 - c1 - 1);
@@ -72,9 +80,11 @@ void arm_locked(State& s, const std::string& spec) {
       throw std::invalid_argument("NOVA_FAULT kind must be error|alloc|timeout: " +
                                   spec);
   }
-  s.site = std::move(site);
-  s.nth = nth;
-  s.kind = kind;
+  // Disarm first so concurrent probes never see a half-written config.
+  s.armed.store(false, std::memory_order_release);
+  s.site.store(site, std::memory_order_relaxed);
+  s.nth.store(nth, std::memory_order_relaxed);
+  s.kind.store(kind, std::memory_order_relaxed);
   s.hits.store(0, std::memory_order_relaxed);
   s.fired.store(false, std::memory_order_relaxed);
   s.armed.store(true, std::memory_order_release);
@@ -125,15 +135,18 @@ namespace detail {
 
 bool should_fire(const char* site) {
   State& s = state();
-  if (s.site != site) return false;
+  const char* armed_site = s.site.load(std::memory_order_relaxed);
+  if (armed_site == nullptr ||
+      (armed_site != site && std::strcmp(armed_site, site) != 0))
+    return false;
   long hit = s.hits.fetch_add(1, std::memory_order_relaxed) + 1;
-  if (hit != s.nth) return false;
+  if (hit != s.nth.load(std::memory_order_relaxed)) return false;
   // fetch_add makes reaching nth unique, but guard against wrap-around
   // re-fires on pathological long runs anyway.
   return !s.fired.exchange(true, std::memory_order_relaxed);
 }
 
-Kind armed_kind() { return state().kind; }
+Kind armed_kind() { return state().kind.load(std::memory_order_relaxed); }
 
 }  // namespace detail
 

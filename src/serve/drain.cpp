@@ -1,0 +1,63 @@
+#include "serve/drain.hpp"
+
+#include <csignal>
+#include <unistd.h>
+
+#include <atomic>
+
+namespace nova::serve {
+
+namespace {
+
+volatile std::sig_atomic_t g_drain = 0;
+volatile std::sig_atomic_t g_signal = 0;
+std::atomic<util::Budget*> g_budget{nullptr};
+std::atomic<bool> g_installed{false};
+
+extern "C" void drain_handler(int sig) {
+  if (g_drain) {
+    // Second signal: the user really means it. 128 + SIGINT by convention.
+    _exit(130);
+  }
+  g_drain = 1;
+  g_signal = sig;
+  // Budget::cancel is one lock-free CAS on an atomic enum —
+  // async-signal-safe in the only sense that matters here.
+  util::Budget* b = g_budget.load(std::memory_order_relaxed);
+  if (b != nullptr) b->cancel();
+}
+
+}  // namespace
+
+void install_signal_handlers() {
+  bool expected = false;
+  if (!g_installed.compare_exchange_strong(expected, true)) return;
+  struct sigaction sa;
+  sa.sa_handler = drain_handler;
+  sigemptyset(&sa.sa_mask);
+  sa.sa_flags = 0;  // no SA_RESTART: let blocking calls return EINTR
+  sigaction(SIGINT, &sa, nullptr);
+  sigaction(SIGTERM, &sa, nullptr);
+}
+
+bool drain_requested() { return g_drain != 0; }
+
+void request_drain() {
+  if (g_drain) return;
+  g_drain = 1;
+  util::Budget* b = g_budget.load(std::memory_order_relaxed);
+  if (b != nullptr) b->cancel();
+}
+
+int drain_signal() { return static_cast<int>(g_signal); }
+
+void set_signal_budget(util::Budget* budget) {
+  g_budget.store(budget, std::memory_order_relaxed);
+}
+
+void reset_drain() {
+  g_drain = 0;
+  g_signal = 0;
+}
+
+}  // namespace nova::serve

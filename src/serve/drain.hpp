@@ -1,0 +1,40 @@
+// Graceful-drain plumbing: SIGINT/SIGTERM -> sticky drain flag + budget
+// cancellation.
+//
+// The signal handler does only async-signal-safe work: it sets a
+// sig_atomic_t flag and calls Budget::cancel() on a registered budget
+// (a lock-free atomic CAS). Everything that needs locks — cancelling the
+// per-job child budgets, closing the queue, flushing the journal — happens
+// on normal threads that poll drain_requested(). A second signal while a
+// drain is already in progress hard-exits with status 130 so a wedged
+// process can still be stopped from the keyboard. See docs/SERVING.md.
+#pragma once
+
+#include "util/budget.hpp"
+
+namespace nova::serve {
+
+/// Installs SIGINT and SIGTERM handlers (idempotent). Call once, from the
+/// main thread, before starting work that should drain instead of die.
+void install_signal_handlers();
+
+/// True once a drain was requested — by a signal or by request_drain().
+/// Sticky until reset_drain().
+bool drain_requested();
+
+/// Programmatic drain (tests, embedders). Identical to receiving a signal
+/// except it never hard-exits.
+void request_drain();
+
+/// Which signal triggered the drain (0 when none / programmatic).
+int drain_signal();
+
+/// Registers the budget the *handler itself* cancels (typically the batch
+/// or single-run budget); pass nullptr to unregister. The budget must
+/// outlive its registration.
+void set_signal_budget(util::Budget* budget);
+
+/// Clears the sticky drain state (tests only — a real process drains once).
+void reset_drain();
+
+}  // namespace nova::serve

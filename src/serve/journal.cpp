@@ -1,0 +1,255 @@
+#include "serve/journal.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "check/faultinject.hpp"
+#include "obs/obs.hpp"
+#include "util/fileio.hpp"
+
+namespace nova::serve {
+
+std::string fnv1a_hex(const std::string& text) {
+  uint64_t h = 14695981039346656037ULL;
+  for (unsigned char c : text) {
+    h ^= c;
+    h *= 1099511628211ULL;
+  }
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(h));
+  return buf;
+}
+
+Journal::~Journal() { close(); }
+
+void Journal::open(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  fd_ = ::open(path.c_str(), O_WRONLY | O_APPEND | O_CREAT | O_CLOEXEC,
+               0644);
+  if (fd_ < 0)
+    throw std::runtime_error("journal: cannot open " + path + ": " +
+                             std::strerror(errno));
+  path_ = path;
+}
+
+void Journal::close() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (fd_ >= 0) {
+    ::fsync(fd_);
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void Journal::append(const obs::Json& record) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (fd_ < 0) return;
+  check::fault::point("serve.journal");
+  std::string line = record.dump(-1);
+  line += '\n';
+  if (!util::detail::write_all(fd_, line.data(), line.size()))
+    throw std::runtime_error("journal: write failed on " + path_ + ": " +
+                             std::strerror(errno));
+  // fsync per record is the whole point: a record the caller saw appended
+  // survives kill -9. Batches are job-grained, so the cost is noise.
+  if (::fsync(fd_) != 0)
+    throw std::runtime_error("journal: fsync failed on " + path_);
+  obs::counter_add("serve.journal_records");
+}
+
+namespace {
+obs::Json base_record(const char* type, const std::string& job) {
+  obs::Json r = obs::Json::object();
+  r.set("type", type);
+  if (!job.empty()) r.set("job", job);
+  return r;
+}
+}  // namespace
+
+void Journal::record_batch(const std::string& manifest_digest, int jobs,
+                           bool resume) {
+  if (!is_open()) return;
+  obs::Json r = base_record("batch", "");
+  r.set("manifest", manifest_digest);
+  r.set("jobs", jobs);
+  r.set("resume", resume);
+  append(r);
+}
+
+void Journal::record_queued(const std::string& job, const std::string& cls) {
+  if (!is_open()) return;
+  obs::Json r = base_record("queued", job);
+  r.set("class", cls);
+  append(r);
+}
+
+void Journal::record_running(const std::string& job, int attempt) {
+  if (!is_open()) return;
+  obs::Json r = base_record("running", job);
+  r.set("attempt", attempt);
+  append(r);
+}
+
+void Journal::record_retry(const std::string& job, int next_attempt,
+                           long backoff_units, const std::string& reason) {
+  if (!is_open()) return;
+  obs::Json r = base_record("retry", job);
+  r.set("attempt", next_attempt);
+  r.set("backoff_units", backoff_units);
+  r.set("reason", reason);
+  append(r);
+}
+
+void Journal::record_done(const std::string& job, const std::string& digest,
+                          int attempts, long area) {
+  if (!is_open()) return;
+  obs::Json r = base_record("done", job);
+  r.set("digest", digest);
+  r.set("attempts", attempts);
+  r.set("area", area);
+  append(r);
+}
+
+void Journal::record_failed(const std::string& job, const std::string& reason,
+                            int attempts) {
+  if (!is_open()) return;
+  obs::Json r = base_record("failed", job);
+  r.set("reason", reason);
+  r.set("attempts", attempts);
+  append(r);
+}
+
+void Journal::record_degraded(const std::string& job,
+                              const std::string& cause,
+                              const std::string& digest, int attempts) {
+  if (!is_open()) return;
+  obs::Json r = base_record("degraded", job);
+  r.set("cause", cause);
+  if (!digest.empty()) r.set("digest", digest);
+  r.set("attempts", attempts);
+  append(r);
+}
+
+void Journal::record_event(const std::string& type) {
+  if (!is_open()) return;
+  append(base_record(type.c_str(), ""));
+}
+
+const JobJournalState* ReplayResult::find(const std::string& id) const {
+  for (const auto& [job, st] : jobs) {
+    if (job == id) return &st;
+  }
+  return nullptr;
+}
+
+int ReplayResult::count_terminal(const std::string& state) const {
+  int n = 0;
+  for (const auto& [job, st] : jobs) {
+    if (st.terminal == state) ++n;
+  }
+  return n;
+}
+
+bool ReplayResult::fully_accounted() const {
+  for (const auto& [job, st] : jobs) {
+    if (st.queued && st.terminal.empty()) return false;
+  }
+  return true;
+}
+
+ReplayResult replay_journal(const std::string& path) {
+  ReplayResult out;
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return out;  // no journal yet: empty and clean
+  std::stringstream ss;
+  ss << in.rdbuf();
+  const std::string text = ss.str();
+
+  auto state_of = [&out](const std::string& id) -> JobJournalState& {
+    for (auto& [job, st] : out.jobs) {
+      if (job == id) return st;
+    }
+    out.jobs.emplace_back(id, JobJournalState{});
+    return out.jobs.back().second;
+  };
+
+  size_t pos = 0;
+  while (pos < text.size()) {
+    size_t nl = text.find('\n', pos);
+    if (nl == std::string::npos) {
+      // Torn final line: the only corruption a crash mid-append (with
+      // per-record fsync) can produce. Skip it silently but flag it.
+      out.truncated_tail = true;
+      break;
+    }
+    std::string line = text.substr(pos, nl - pos);
+    pos = nl + 1;
+    if (line.empty()) continue;
+    std::string err;
+    auto doc = obs::Json::parse(line, &err);
+    if (!doc || !doc->is_object()) {
+      // The newline is written together with its payload, so a crash can
+      // only tear the final, newline-less line. A malformed line *with* a
+      // newline is real corruption.
+      out.errors.push_back("bad record: " + (err.empty() ? line : err));
+      continue;
+    }
+    ++out.records;
+    const obs::Json* type = doc->find("type");
+    if (!type || !type->is_string()) {
+      out.errors.push_back("record without type: " + line);
+      continue;
+    }
+    const std::string& t = type->as_string();
+    if (t == "batch") {
+      if (const obs::Json* m = doc->find("manifest"); m && m->is_string())
+        out.manifest_digest = m->as_string();
+      continue;
+    }
+    if (t == "drain") {
+      out.drained = true;
+      continue;
+    }
+    const obs::Json* job = doc->find("job");
+    if (!job || !job->is_string()) continue;  // other marker records
+    JobJournalState& st = state_of(job->as_string());
+    if (const obs::Json* a = doc->find("attempt"); a && a->is_number())
+      st.attempts = static_cast<int>(a->as_number());
+    if (const obs::Json* a = doc->find("attempts"); a && a->is_number())
+      st.attempts = static_cast<int>(a->as_number());
+    if (t == "queued") {
+      st.queued = true;
+    } else if (t == "running") {
+      st.running = true;
+    } else if (t == "retry") {
+      // bookkeeping only
+    } else if (t == "done" || t == "failed" || t == "degraded") {
+      st.terminal = t;
+      st.running = false;
+      if (t == "done") ++st.done_records;
+      if (const obs::Json* d = doc->find("digest"); d && d->is_string())
+        st.digest = d->as_string();
+      if (const obs::Json* c = doc->find("cause"); c && c->is_string())
+        st.cause = c->as_string();
+      if (const obs::Json* c = doc->find("reason"); c && c->is_string())
+        st.cause = c->as_string();
+    } else {
+      out.errors.push_back("unknown record type '" + t + "'");
+    }
+  }
+  return out;
+}
+
+}  // namespace nova::serve

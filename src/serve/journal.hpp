@@ -1,0 +1,102 @@
+// Write-ahead job journal for crash-safe batch serving.
+//
+// The journal is an append-only JSONL file: one compact JSON object per
+// line, fsync'd per record, so the batch's progress survives kill -9 at any
+// instant. A job moves through
+//
+//   queued -> running -> done{digest} | failed{reason} | degraded{cause}
+//
+// with optional `retry` records between attempts. replay_journal() folds a
+// journal back into per-job state, tolerating a torn final line (the only
+// line a crash mid-append can corrupt); a malformed line anywhere *else*
+// marks the journal unclean. `--resume` uses the replay to skip every job
+// that already reached a terminal state — except drain-degraded jobs, which
+// were cut short deliberately and re-run. See docs/SERVING.md.
+#pragma once
+
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/json.hpp"
+
+namespace nova::serve {
+
+/// FNV-1a 64-bit digest rendered as 16 hex chars; the journal stores this
+/// for every completed job so resume can prove outputs are byte-identical.
+std::string fnv1a_hex(const std::string& text);
+
+class Journal {
+ public:
+  Journal() = default;
+  ~Journal();
+  Journal(const Journal&) = delete;
+  Journal& operator=(const Journal&) = delete;
+
+  /// Opens (creating if needed) the journal for appending. Throws
+  /// std::runtime_error when the file cannot be opened.
+  void open(const std::string& path);
+  void close();
+  bool is_open() const { return fd_ >= 0; }
+  const std::string& path() const { return path_; }
+
+  /// Appends one record as a compact JSON line and fsyncs it. Thread-safe.
+  /// Throws std::runtime_error on write failure (and FaultInjected /
+  /// bad_alloc via the "serve.journal" probe site).
+  void append(const obs::Json& record);
+
+  // --- typed record helpers (all no-ops when the journal is not open) ---
+  void record_batch(const std::string& manifest_digest, int jobs,
+                    bool resume);
+  void record_queued(const std::string& job, const std::string& cls);
+  void record_running(const std::string& job, int attempt);
+  void record_retry(const std::string& job, int next_attempt,
+                    long backoff_units, const std::string& reason);
+  void record_done(const std::string& job, const std::string& digest,
+                   int attempts, long area);
+  void record_failed(const std::string& job, const std::string& reason,
+                     int attempts);
+  void record_degraded(const std::string& job, const std::string& cause,
+                       const std::string& digest, int attempts);
+  /// Free-form marker record, e.g. {"type":"drain"}.
+  void record_event(const std::string& type);
+
+ private:
+  int fd_ = -1;
+  std::string path_;
+  std::mutex mu_;
+};
+
+/// Folded per-job state after replaying a journal.
+struct JobJournalState {
+  std::string terminal;  ///< "", "done", "failed", or "degraded"
+  std::string digest;    ///< done/degraded digest (empty when none)
+  std::string cause;     ///< failed reason / degraded cause
+  int attempts = 0;      ///< last recorded attempt count
+  bool queued = false;
+  bool running = false;  ///< saw a running record (in flight at a crash)
+  int done_records = 0;  ///< resume must never add a second one
+};
+
+struct ReplayResult {
+  /// Jobs in first-appearance order.
+  std::vector<std::pair<std::string, JobJournalState>> jobs;
+  int records = 0;             ///< complete, well-formed records read
+  bool truncated_tail = false; ///< torn final line was skipped
+  bool drained = false;        ///< a drain event was recorded
+  std::string manifest_digest; ///< from the last batch header
+  std::vector<std::string> errors;  ///< malformed non-final lines
+
+  bool clean() const { return errors.empty(); }
+  const JobJournalState* find(const std::string& id) const;
+  int count_terminal(const std::string& state) const;
+  /// Accounting invariant: every queued job reached a terminal state.
+  /// Always true for a batch that ran to completion (drained batches may
+  /// legitimately leave queued/running jobs behind).
+  bool fully_accounted() const;
+};
+
+/// Replays a journal file. A missing file yields an empty, clean result.
+ReplayResult replay_journal(const std::string& path);
+
+}  // namespace nova::serve

@@ -1,0 +1,112 @@
+// Retry policy and per-class circuit breaker for the batch server.
+//
+// Backoff is *virtual*: it is measured in work units on the batch's virtual
+// clock (one tick per completed attempt, fast-forwarded when every worker
+// would otherwise idle), not in wall-clock sleeps — tests and drained
+// batches never block on a timer, and the schedule is deterministic for a
+// given (seed, job) at one worker thread. The exponential curve is seeded
+// per job so retries of different jobs interleave instead of thundering
+// back in lockstep. See docs/SERVING.md.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+
+#include "util/rng.hpp"
+
+namespace nova::serve {
+
+struct RetryPolicy {
+  /// Total attempts per job (1 = no retries).
+  int max_attempts = 3;
+  /// Virtual backoff before the first retry; doubles per further retry.
+  long base_backoff_units = 64;
+  long max_backoff_units = 1 << 20;
+  /// Jitter stream seed; combined with the job key and attempt number.
+  uint64_t seed = 0x5e12e5e12e5ULL;
+
+  /// Deterministic backoff before attempt `next_attempt` (>= 2) of the job
+  /// identified by `job_key`: base * 2^(retry-1) with a seeded +-25% jitter.
+  long backoff_units(int next_attempt, uint64_t job_key) const {
+    int retries = std::max(0, next_attempt - 2);
+    long b = base_backoff_units;
+    for (int i = 0; i < retries && b < max_backoff_units; ++i) b *= 2;
+    b = std::min(b, max_backoff_units);
+    util::Rng rng(seed ^ (job_key * 0x9e3779b97f4a7c15ULL) ^
+                  static_cast<uint64_t>(next_attempt));
+    long jitter_span = std::max<long>(1, b / 4);
+    long jitter = static_cast<long>(rng.next() % (2 * jitter_span + 1)) -
+                  jitter_span;
+    return std::max<long>(1, b + jitter);
+  }
+};
+
+/// Classic closed -> open -> half-open breaker over the virtual clock.
+/// After `failure_threshold` consecutive hard failures in one job class the
+/// breaker opens: jobs of that class are no longer re-admitted to the full
+/// pipeline and run in safe mode instead (recorded `degraded`, cause
+/// "breaker"). After `cooldown_units` of virtual time one probe job is let
+/// through (half-open); success closes the breaker, failure re-opens it.
+/// Not thread-safe — the batch scheduler guards it with its queue mutex.
+class CircuitBreaker {
+ public:
+  CircuitBreaker(int failure_threshold, long cooldown_units)
+      : threshold_(std::max(1, failure_threshold)),
+        cooldown_(std::max<long>(1, cooldown_units)) {}
+
+  enum class State { kClosed, kOpen, kHalfOpen };
+
+  State state(long now_units) const {
+    if (!open_) return State::kClosed;
+    return now_units - opened_at_ >= cooldown_ ? State::kHalfOpen
+                                               : State::kOpen;
+  }
+
+  /// True when a full-pipeline attempt may run now. In the half-open state
+  /// only one probe is admitted until its verdict arrives.
+  bool admit(long now_units) {
+    switch (state(now_units)) {
+      case State::kClosed:
+        return true;
+      case State::kOpen:
+        return false;
+      case State::kHalfOpen:
+        if (probe_in_flight_) return false;
+        probe_in_flight_ = true;
+        return true;
+    }
+    return true;
+  }
+
+  void on_success() {
+    open_ = false;
+    probe_in_flight_ = false;
+    consecutive_failures_ = 0;
+  }
+
+  /// Returns true when this failure transitioned the breaker to open.
+  bool on_failure(long now_units) {
+    probe_in_flight_ = false;
+    ++consecutive_failures_;
+    if (!open_ && consecutive_failures_ >= threshold_) {
+      open_ = true;
+      opened_at_ = now_units;
+      return true;
+    }
+    if (open_) opened_at_ = now_units;  // failed probe restarts the cooldown
+    return false;
+  }
+
+  int consecutive_failures() const { return consecutive_failures_; }
+
+ private:
+  int threshold_;
+  long cooldown_;
+  int consecutive_failures_ = 0;
+  bool open_ = false;
+  bool probe_in_flight_ = false;
+  long opened_at_ = 0;
+};
+
+}  // namespace nova::serve

@@ -1,0 +1,817 @@
+#include "serve/serve.hpp"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
+#include <cstdlib>
+#include <deque>
+#include <fstream>
+#include <mutex>
+#include <sstream>
+#include <stdexcept>
+#include <thread>
+
+#include "bench_data/benchmarks.hpp"
+#include "check/faultinject.hpp"
+#include "fsm/kiss_io.hpp"
+#include "nova/robust.hpp"
+#include "obs/obs.hpp"
+#include "serve/drain.hpp"
+#include "util/fileio.hpp"
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+
+namespace nova::serve {
+
+namespace {
+
+uint64_t fnv1a_u64(const std::string& text) {
+  uint64_t h = 14695981039346656037ULL;
+  for (unsigned char c : text) {
+    h ^= c;
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+double now_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+fsm::Fsm load_spec(const std::string& spec) {
+  std::ifstream probe(spec);
+  if (probe.good()) return fsm::parse_kiss_file(spec);
+  return bench_data::load_benchmark(spec);
+}
+
+/// Journal appends are retried once: the only in-tree failure mode is the
+/// fire-once "serve.journal" probe, and a transient fsync error should not
+/// take the batch down either. A second failure is counted and skipped —
+/// the journal degrades to best-effort rather than sinking jobs.
+template <typename F>
+void journal_safely(F&& f) {
+  try {
+    f();
+  } catch (...) {
+    obs::counter_add("serve.journal_retries");
+    try {
+      f();
+    } catch (...) {
+      obs::counter_add("serve.journal_errors");
+    }
+  }
+}
+
+struct AttemptOutcome {
+  bool usable = false;
+  bool ok = false;   ///< status == kOk
+  std::string text;  ///< .code output (usable only)
+  std::string digest;
+  std::string note;
+  long area = 0;
+  int nbits = 0;
+  int cubes = 0;
+};
+
+std::string render_output(const JobSpec& job, const fsm::Fsm& f,
+                          const driver::RobustResult& rr) {
+  std::string out;
+  char head[256];
+  std::snprintf(head, sizeof(head),
+                "# %s spec=%s alg=%s states=%d nbits=%d cubes=%d area=%ld\n",
+                job.id.c_str(), job.spec.c_str(),
+                algorithm_name(job.algorithm), f.num_states(),
+                rr.nova.metrics.nbits, rr.nova.metrics.cubes,
+                rr.nova.metrics.area);
+  out += head;
+  for (int s = 0; s < f.num_states(); ++s) {
+    out += ".code ";
+    out += f.state_name(s);
+    out += ' ';
+    out += rr.nova.enc.code_string(s);
+    out += '\n';
+  }
+  return out;
+}
+
+AttemptOutcome run_attempt(const JobSpec& job, const BatchOptions& opts,
+                           util::Budget* jb, bool safe_mode) {
+  AttemptOutcome ao;
+  try {
+    check::fault::point("serve.job", jb);
+    fsm::Fsm f = load_spec(job.spec);
+    driver::NovaOptions nopts;
+    nopts.algorithm = job.algorithm;
+    nopts.nbits = job.nbits;
+    nopts.seed = job.seed;
+    nopts.trace = false;  // the worker's ambient session collects
+    nopts.budget = jb;
+    driver::RobustOptions ropts;
+    ropts.verify = opts.verify;
+    ropts.budget_from_env = false;
+    auto out = driver::encode_fsm_robust(f, nopts, ropts);
+    if (!out.usable()) {
+      ao.note = out.detail.empty() ? "no usable encoding" : out.detail;
+      return ao;
+    }
+    ao.usable = true;
+    ao.ok = out.ok() && !safe_mode;
+    ao.note = safe_mode ? "safe mode" : out.detail;
+    ao.area = out.value.nova.metrics.area;
+    ao.nbits = out.value.nova.metrics.nbits;
+    ao.cubes = out.value.nova.metrics.cubes;
+    ao.text = render_output(job, f, out.value);
+    ao.digest = fnv1a_hex(ao.text);
+  } catch (const std::exception& e) {
+    ao.note = e.what();
+  } catch (...) {
+    ao.note = "unknown error";
+  }
+  return ao;
+}
+
+const char* const kFaultKinds[] = {"error", "alloc", "timeout"};
+
+}  // namespace
+
+const char* algorithm_name(driver::Algorithm a) {
+  switch (a) {
+    case driver::Algorithm::kIExact:
+      return "iexact";
+    case driver::Algorithm::kIHybrid:
+      return "ihybrid";
+    case driver::Algorithm::kIGreedy:
+      return "igreedy";
+    case driver::Algorithm::kIoHybrid:
+      return "iohybrid";
+    case driver::Algorithm::kIoVariant:
+      return "iovariant";
+    case driver::Algorithm::kKiss:
+      return "kiss";
+    case driver::Algorithm::kMustangFanout:
+      return "mustang-p";
+    case driver::Algorithm::kMustangFanin:
+      return "mustang-n";
+    case driver::Algorithm::kRandom:
+      return "random";
+  }
+  return "unknown";
+}
+
+bool parse_algorithm(const std::string& name, driver::Algorithm* out) {
+  using driver::Algorithm;
+  static const std::pair<const char*, Algorithm> kMap[] = {
+      {"iexact", Algorithm::kIExact},
+      {"ihybrid", Algorithm::kIHybrid},
+      {"igreedy", Algorithm::kIGreedy},
+      {"iohybrid", Algorithm::kIoHybrid},
+      {"iovariant", Algorithm::kIoVariant},
+      {"kiss", Algorithm::kKiss},
+      {"mustang-p", Algorithm::kMustangFanout},
+      {"mustang-n", Algorithm::kMustangFanin},
+      {"random", Algorithm::kRandom},
+  };
+  for (const auto& [n, a] : kMap) {
+    if (name == n) {
+      *out = a;
+      return true;
+    }
+  }
+  return false;
+}
+
+const char* job_state_name(JobState s) {
+  switch (s) {
+    case JobState::kPending:
+      return "pending";
+    case JobState::kDone:
+      return "done";
+    case JobState::kFailed:
+      return "failed";
+    case JobState::kDegraded:
+      return "degraded";
+  }
+  return "unknown";
+}
+
+std::vector<JobSpec> parse_manifest(const std::string& text,
+                                    driver::Algorithm default_alg,
+                                    std::string* err) {
+  std::vector<JobSpec> jobs;
+  std::istringstream in(text);
+  std::string line;
+  int lineno = 0;
+  auto fail = [&](const std::string& why) {
+    if (err != nullptr)
+      *err = "manifest line " + std::to_string(lineno) + ": " + why;
+    return std::vector<JobSpec>{};
+  };
+  while (std::getline(in, line)) {
+    ++lineno;
+    auto hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    std::istringstream toks(line);
+    std::string spec;
+    if (!(toks >> spec)) continue;  // blank / comment-only line
+    JobSpec job;
+    job.spec = spec;
+    job.algorithm = default_alg;
+    job.index = static_cast<int>(jobs.size());
+    std::string tok;
+    while (toks >> tok) {
+      auto eq = tok.find('=');
+      if (eq == std::string::npos || eq == 0)
+        return fail("expected key=value, got '" + tok + "'");
+      std::string key = tok.substr(0, eq);
+      std::string val = tok.substr(eq + 1);
+      if (key == "alg" || key == "algorithm") {
+        if (!parse_algorithm(val, &job.algorithm))
+          return fail("unknown algorithm '" + val + "'");
+      } else if (key == "nbits") {
+        job.nbits = std::atoi(val.c_str());
+      } else if (key == "seed") {
+        job.seed = std::strtoull(val.c_str(), nullptr, 10);
+      } else if (key == "class") {
+        job.cls = val;
+      } else {
+        return fail("unknown key '" + key + "'");
+      }
+    }
+    if (job.cls.empty()) job.cls = job.spec;
+    // Job id: manifest position + sanitized basename stem, unique even when
+    // the same machine appears many times (soak manifests repeat names).
+    std::string stem = job.spec;
+    if (auto slash = stem.find_last_of('/'); slash != std::string::npos)
+      stem = stem.substr(slash + 1);
+    if (auto dot = stem.find_last_of('.'); dot != std::string::npos && dot > 0)
+      stem = stem.substr(0, dot);
+    for (char& c : stem) {
+      if (!std::isalnum(static_cast<unsigned char>(c)) && c != '_' &&
+          c != '-')
+        c = '_';
+    }
+    char id[64];
+    std::snprintf(id, sizeof(id), "%04d-%s", job.index,
+                  stem.empty() ? "job" : stem.c_str());
+    job.id = id;
+    jobs.push_back(std::move(job));
+  }
+  return jobs;
+}
+
+std::vector<JobSpec> parse_manifest_file(const std::string& path,
+                                         driver::Algorithm default_alg) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot read manifest " + path);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  std::string err;
+  auto jobs = parse_manifest(ss.str(), default_alg, &err);
+  if (jobs.empty() && !err.empty()) throw std::runtime_error(err);
+  return jobs;
+}
+
+std::string manifest_digest(const std::vector<JobSpec>& jobs) {
+  std::string canon;
+  for (const JobSpec& j : jobs) {
+    canon += j.spec;
+    canon += '|';
+    canon += algorithm_name(j.algorithm);
+    canon += '|';
+    canon += std::to_string(j.nbits);
+    canon += '|';
+    canon += std::to_string(j.seed);
+    canon += '|';
+    canon += j.cls;
+    canon += '\n';
+  }
+  return fnv1a_hex(canon);
+}
+
+std::string BatchResult::concatenated_outputs() const {
+  std::string out;
+  for (const JobResult& j : jobs) {
+    if (j.state == JobState::kDone || j.state == JobState::kDegraded)
+      out += j.output;
+  }
+  return out;
+}
+
+namespace {
+
+struct Task {
+  int job = 0;
+  int attempt = 1;
+  long ready_at = 0;
+  bool safe_mode = false;
+};
+
+/// Shared scheduler state; guards the queue, the virtual clock, the
+/// breakers, and the per-job results while the pool runs.
+struct Sched {
+  std::mutex mu;
+  std::condition_variable cv;
+  std::deque<Task> ready;
+  std::vector<Task> delayed;
+  int running = 0;
+  long clock = 0;       ///< virtual time: +1 per attempt, fast-forwarded
+  bool closed = false;  ///< drain: admit nothing more
+  int completed = 0;
+  int retries = 0;
+  int breaker_trips = 0;
+  std::vector<std::pair<std::string, CircuitBreaker>> breakers;
+  std::vector<util::Budget*> active;  ///< budgets of in-flight attempts
+
+  CircuitBreaker& breaker(const std::string& cls, const BatchOptions& o) {
+    for (auto& [c, b] : breakers) {
+      if (c == cls) return b;
+    }
+    breakers.emplace_back(
+        cls, CircuitBreaker(o.breaker_threshold, o.breaker_cooldown_units));
+    return breakers.back().second;
+  }
+};
+
+}  // namespace
+
+obs::Json batch_report_json(const BatchResult& res,
+                            const BatchOptions& opts) {
+  obs::Json doc = obs::Json::object();
+  doc.set("version", 1);
+  doc.set("drained", res.drained);
+  obs::Json totals = obs::Json::object();
+  totals.set("jobs", static_cast<int>(res.jobs.size()));
+  totals.set("done", res.done);
+  totals.set("failed", res.failed);
+  totals.set("degraded", res.degraded);
+  totals.set("pending", res.pending);
+  totals.set("retries", res.retries);
+  totals.set("breaker_trips", res.breaker_trips);
+  totals.set("resume_skipped", res.resumed_skips);
+  doc.set("totals", std::move(totals));
+  doc.set("virtual_units", res.virtual_units);
+  doc.set("seconds", res.seconds);
+  if (res.report) {
+    obs::Json counters = obs::Json::object();
+    for (const auto& [name, value] : res.report->counters())
+      counters.set(name, value);
+    doc.set("counters", std::move(counters));
+  }
+  obs::Json jobs = obs::Json::array();
+  for (const JobResult& j : res.jobs) {
+    obs::Json e = obs::Json::object();
+    e.set("id", j.spec.id);
+    e.set("spec", j.spec.spec);
+    e.set("class", j.spec.cls);
+    e.set("state", job_state_name(j.state));
+    e.set("resumed_skip", j.resumed_skip);
+    e.set("attempts", j.attempts);
+    if (j.backoff_units > 0) e.set("backoff_units", j.backoff_units);
+    if (!j.digest.empty()) e.set("digest", j.digest);
+    if (!j.note.empty()) e.set("note", j.note);
+    if (!j.output_path.empty()) e.set("output", j.output_path);
+    if (j.state == JobState::kDone || j.state == JobState::kDegraded) {
+      e.set("area", j.area);
+      e.set("nbits", j.nbits);
+      e.set("cubes", j.cubes);
+    }
+    e.set("seconds", j.seconds);
+    if (opts.keep_sub_reports && !j.counters.empty()) {
+      obs::Json c = obs::Json::object();
+      for (const auto& [name, value] : j.counters) c.set(name, value);
+      e.set("counters", std::move(c));
+    }
+    jobs.push_back(std::move(e));
+  }
+  doc.set("jobs", std::move(jobs));
+  obs::Json traj = obs::Json::array();
+  for (const auto& [secs, done] : res.trajectory) {
+    obs::Json p = obs::Json::object();
+    p.set("seconds", secs);
+    p.set("done", done);
+    traj.push_back(std::move(p));
+  }
+  doc.set("throughput", std::move(traj));
+  return doc;
+}
+
+BatchResult run_batch(const std::vector<JobSpec>& jobs,
+                      const BatchOptions& opts) {
+  BatchResult res;
+  res.jobs.resize(jobs.size());
+  for (size_t i = 0; i < jobs.size(); ++i) res.jobs[i].spec = jobs[i];
+  res.report = std::make_shared<obs::Report>();
+  obs::TraceSession main_session(*res.report);
+  obs::Span batch_span("serve.batch");
+  const double t0 = now_seconds();
+
+  long job_delay_ms = opts.job_delay_ms;
+  if (job_delay_ms < 0) {
+    job_delay_ms = 0;
+    if (const char* v = std::getenv("NOVA_SERVE_JOB_DELAY_MS")) {
+      long parsed = std::atol(v);
+      if (parsed > 0) job_delay_ms = parsed;
+    }
+  }
+
+  // --- resume: fold the journal and mark terminal jobs as skipped ---
+  std::vector<bool> skip(jobs.size(), false);
+  if (opts.resume && !opts.journal_path.empty()) {
+    ReplayResult rep = replay_journal(opts.journal_path);
+    if (!rep.clean())
+      throw std::runtime_error("resume: journal " + opts.journal_path +
+                               " is corrupt: " + rep.errors.front());
+    const std::string digest = manifest_digest(jobs);
+    if (!rep.manifest_digest.empty() && rep.manifest_digest != digest)
+      std::fprintf(stderr,
+                   "serve: warning: resuming with a different manifest "
+                   "(journal %s, current %s); matching job ids only\n",
+                   rep.manifest_digest.c_str(), digest.c_str());
+    for (size_t i = 0; i < jobs.size(); ++i) {
+      const JobJournalState* st = rep.find(jobs[i].id);
+      if (st == nullptr || st->terminal.empty()) continue;
+      // Drain-degraded jobs were cut short deliberately: re-run them.
+      if (st->terminal == "degraded" && st->cause == "drain") continue;
+      JobResult& jr = res.jobs[i];
+      if (st->terminal != "failed" && !opts.out_dir.empty()) {
+        // Prove the recorded output still exists byte-identically.
+        std::string path = opts.out_dir + "/" + jobs[i].id + ".code";
+        std::ifstream in(path, std::ios::binary);
+        std::stringstream ss;
+        if (in) ss << in.rdbuf();
+        std::string text = ss.str();
+        if (!in || fnv1a_hex(text) != st->digest) {
+          obs::counter_add("serve.resume_digest_mismatch");
+          continue;  // journal says done but the bytes are gone: re-run
+        }
+        jr.output = std::move(text);
+        jr.output_path = path;
+      }
+      jr.state = st->terminal == "done"     ? JobState::kDone
+                 : st->terminal == "failed" ? JobState::kFailed
+                                            : JobState::kDegraded;
+      jr.resumed_skip = true;
+      jr.digest = st->digest;
+      jr.note = st->cause;
+      jr.attempts = st->attempts;
+      skip[i] = true;
+      ++res.resumed_skips;
+      obs::counter_add("serve.resume_skipped");
+    }
+  }
+
+  if (!opts.out_dir.empty() && !util::ensure_dir(opts.out_dir))
+    throw std::runtime_error("cannot create output directory " +
+                             opts.out_dir);
+
+  Journal journal;
+  if (!opts.journal_path.empty()) {
+    journal.open(opts.journal_path);
+    journal_safely([&] {
+      journal.record_batch(manifest_digest(jobs),
+                           static_cast<int>(jobs.size()), opts.resume);
+    });
+  }
+
+  Sched sched;
+  for (size_t i = 0; i < jobs.size(); ++i) {
+    if (skip[i]) continue;
+    journal_safely(
+        [&] { journal.record_queued(jobs[i].id, jobs[i].cls); });
+    obs::counter_add("serve.jobs_queued");
+    sched.ready.push_back(Task{static_cast<int>(i), 1, 0, false});
+  }
+
+  // --- drain watcher: turns the sticky drain flag (or batch-budget
+  // exhaustion) into queue closure + cancellation of in-flight budgets.
+  // Runs until the pool is done; polling at 1 ms is far below job
+  // granularity. The signal handler itself never touches locks.
+  std::atomic<bool> pool_done{false};
+  bool drain_recorded = false;
+  std::thread watcher([&] {
+    while (!pool_done.load(std::memory_order_relaxed)) {
+      bool drain = drain_requested();
+      if (!drain && opts.budget != nullptr && !opts.budget->checkpoint())
+        drain = true;
+      if (drain) {
+        std::lock_guard<std::mutex> lock(sched.mu);
+        sched.closed = true;
+        for (util::Budget* b : sched.active) b->cancel();
+        sched.cv.notify_all();
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  });
+
+  const auto worker = [&](int) {
+    obs::TraceSession session(*res.report);
+    for (;;) {
+      Task t;
+      {
+        std::unique_lock<std::mutex> lk(sched.mu);
+        for (;;) {
+          if (sched.closed) return;
+          if (!sched.ready.empty()) {
+            t = sched.ready.front();
+            sched.ready.pop_front();
+            break;
+          }
+          if (!sched.delayed.empty()) {
+            // Virtual fast-forward: nothing is ready, so jump the clock to
+            // the earliest retry instead of sleeping.
+            long min_at = sched.delayed.front().ready_at;
+            for (const Task& d : sched.delayed)
+              min_at = std::min(min_at, d.ready_at);
+            sched.clock = std::max(sched.clock, min_at);
+            auto due = [&](const Task& d) {
+              return d.ready_at <= sched.clock;
+            };
+            std::stable_partition(sched.delayed.begin(),
+                                  sched.delayed.end(), due);
+            while (!sched.delayed.empty() && due(sched.delayed.front())) {
+              sched.ready.push_back(sched.delayed.front());
+              sched.delayed.erase(sched.delayed.begin());
+            }
+            continue;
+          }
+          if (sched.running == 0) {
+            sched.cv.notify_all();
+            return;
+          }
+          sched.cv.wait(lk);
+        }
+        // Breaker admission happens at pop time, on the virtual clock.
+        if (!t.safe_mode &&
+            !sched.breaker(jobs[t.job].cls, opts).admit(sched.clock)) {
+          t.safe_mode = true;
+          obs::counter_add("serve.breaker_shortcircuit");
+        }
+        ++sched.running;
+      }
+
+      const JobSpec& job = jobs[t.job];
+      JobResult& jr = res.jobs[t.job];
+      journal_safely(
+          [&] { journal.record_running(job.id, t.attempt); });
+      obs::counter_add("serve.attempts");
+      if (job_delay_ms > 0)
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(job_delay_ms));
+
+      // Per-attempt isolation: a child of the batch budget (inheriting its
+      // deadline), further bounded by the per-job knobs. Safe mode runs
+      // with a 1-unit work budget, which forces the ladder straight down
+      // to the verified sequential rung.
+      util::Budget jb;
+      if (opts.budget != nullptr) jb = opts.budget->fork_attempt();
+      if (t.safe_mode) {
+        jb = util::Budget();
+        jb.set_work_limit(1);
+      } else {
+        if (opts.job_deadline_ms > 0) jb.set_deadline_ms(opts.job_deadline_ms);
+        if (opts.job_work_budget > 0) jb.set_work_limit(opts.job_work_budget);
+      }
+      {
+        std::lock_guard<std::mutex> lock(sched.mu);
+        if (sched.closed) jb.cancel();  // drain raced the registration
+        sched.active.push_back(&jb);
+      }
+
+      // Soak-style deterministic fault injection: arm a pseudo-random
+      // site/kind for this attempt only.
+      bool armed_here = false;
+      if (opts.fault_rate > 0.0) {
+        util::Rng rng(opts.fault_seed ^ fnv1a_u64(job.id) ^
+                      (static_cast<uint64_t>(t.attempt) * 0x9e3779b97f4a7c15ULL));
+        if (rng.chance(opts.fault_rate)) {
+          const auto& sites = check::fault::registered_sites();
+          std::string spec =
+              sites[rng.uniform(static_cast<int>(sites.size()))] + ":1:" +
+              kFaultKinds[rng.uniform(3)];
+          check::fault::arm(spec);
+          armed_here = true;
+          obs::counter_add("serve.faults_armed");
+        }
+      }
+
+      AttemptOutcome ao;
+      double a0 = now_seconds();
+      {
+        obs::Span job_span("serve.job");
+        // The nested session isolates this job's spans/counters into its
+        // own sub-report; merged back into the batch report below.
+        obs::Report sub;
+        {
+          obs::TraceSession sub_session(sub);
+          ao = run_attempt(job, opts, &jb, t.safe_mode);
+        }
+        // Accumulate this attempt's sub-report into the job's counters and
+        // into the batch report, so batch totals equal the per-job sums.
+        for (const auto& [name, value] : sub.counters()) {
+          bool found = false;
+          for (auto& [n, v] : jr.counters) {
+            if (n == name) {
+              v += value;
+              found = true;
+              break;
+            }
+          }
+          if (!found) jr.counters.emplace_back(name, value);
+          obs::counter_add(name.c_str(), value);
+        }
+      }
+      jr.seconds += now_seconds() - a0;
+      if (armed_here) check::fault::disarm();
+      {
+        std::lock_guard<std::mutex> lock(sched.mu);
+        sched.active.erase(
+            std::find(sched.active.begin(), sched.active.end(), &jb));
+      }
+
+      // --- decide terminal vs retry ---
+      enum class Decision { kRetry, kDone, kDegraded, kFailed, kAbandon };
+      Decision decision;
+      std::string cause;
+      long backoff = 0;
+      bool drained_now;
+      {
+        std::lock_guard<std::mutex> lock(sched.mu);
+        ++sched.clock;
+        --sched.running;
+        // Note: a cancelled *job* budget is not proof of a drain — the
+        // timeout fault kind also trips kCancelled. Only the scheduler's
+        // closed flag (set by the watcher) means the batch is draining.
+        drained_now = sched.closed;
+        CircuitBreaker& br = sched.breaker(job.cls, opts);
+        jr.attempts = t.attempt;
+        if (ao.usable) {
+          // Keep the best-so-far output: a later hard-failing attempt must
+          // not lose an earlier usable result.
+          jr.output = ao.text;
+          jr.digest = ao.digest;
+          jr.area = ao.area;
+          jr.nbits = ao.nbits;
+          jr.cubes = ao.cubes;
+        }
+        if (t.safe_mode) {
+          decision = ao.usable ? Decision::kDegraded : Decision::kFailed;
+          cause = ao.usable ? "breaker" : "breaker: " + ao.note;
+        } else if (ao.usable && ao.ok) {
+          br.on_success();
+          decision = Decision::kDone;
+        } else if (ao.usable) {
+          // Degraded / budget-exhausted result: retry for a better one
+          // unless draining or out of attempts.
+          if (drained_now) {
+            decision = Decision::kDegraded;
+            cause = "drain";
+          } else if (t.attempt < opts.retry.max_attempts) {
+            decision = Decision::kRetry;
+            cause = ao.note.empty() ? "degraded result" : ao.note;
+          } else {
+            decision = Decision::kDegraded;
+            cause = ao.note.empty() ? "retries exhausted" : ao.note;
+          }
+        } else {
+          // Hard failure: feed the breaker, retry while attempts remain.
+          if (br.on_failure(sched.clock)) {
+            ++sched.breaker_trips;
+            obs::counter_add("serve.breaker_open");
+          }
+          if (drained_now && jr.output.empty()) {
+            decision = Decision::kAbandon;  // re-run on resume
+          } else if (drained_now) {
+            decision = Decision::kDegraded;  // best-so-far from earlier try
+            cause = "drain";
+          } else if (t.attempt < opts.retry.max_attempts) {
+            decision = Decision::kRetry;
+            cause = ao.note;
+          } else if (!jr.output.empty()) {
+            decision = Decision::kDegraded;
+            cause = "retries exhausted: " + ao.note;
+          } else {
+            decision = Decision::kFailed;
+            cause = ao.note;
+          }
+        }
+        if (decision == Decision::kRetry) {
+          backoff = opts.retry.backoff_units(t.attempt + 1,
+                                             fnv1a_u64(job.id));
+          jr.backoff_units += backoff;
+          ++sched.retries;
+          sched.delayed.push_back(
+              Task{t.job, t.attempt + 1, sched.clock + backoff, false});
+        }
+        sched.cv.notify_all();
+      }
+
+      switch (decision) {
+        case Decision::kRetry:
+          obs::counter_add("serve.retries");
+          journal_safely([&] {
+            journal.record_retry(job.id, t.attempt + 1, backoff, cause);
+          });
+          continue;
+        case Decision::kAbandon:
+          obs::counter_add("serve.drain_abandoned");
+          continue;  // stays pending; journal keeps queued/running only
+        case Decision::kDone:
+        case Decision::kDegraded:
+        case Decision::kFailed:
+          break;
+      }
+
+      // Terminal: write the output first, then the journal record — a
+      // crash between the two re-runs the job, which is safe; the reverse
+      // order could record a digest whose bytes never hit the disk.
+      jr.note = cause;
+      if (decision == Decision::kFailed) {
+        jr.state = JobState::kFailed;
+        jr.output.clear();
+        jr.digest.clear();
+        obs::counter_add("serve.jobs_failed");
+        journal_safely(
+            [&] { journal.record_failed(job.id, cause, t.attempt); });
+      } else {
+        jr.state = decision == Decision::kDone ? JobState::kDone
+                                               : JobState::kDegraded;
+        if (!opts.out_dir.empty() && !jr.output.empty()) {
+          jr.output_path = opts.out_dir + "/" + job.id + ".code";
+          if (!util::write_file_atomic(jr.output_path, jr.output)) {
+            obs::counter_add("serve.output_write_errors");
+            jr.output_path.clear();
+          }
+        }
+        obs::counter_add(decision == Decision::kDone
+                             ? "serve.jobs_done"
+                             : "serve.jobs_degraded");
+        journal_safely([&] {
+          if (decision == Decision::kDone)
+            journal.record_done(job.id, jr.digest, t.attempt, jr.area);
+          else
+            journal.record_degraded(job.id, cause, jr.digest, t.attempt);
+        });
+      }
+      {
+        std::lock_guard<std::mutex> lock(sched.mu);
+        ++sched.completed;
+        res.trajectory.emplace_back(now_seconds() - t0, sched.completed);
+      }
+    }
+  };
+
+  const int threads = std::max(1, opts.threads);
+  util::ThreadPool pool(threads);
+  pool.run_indexed(threads, worker);
+  pool_done.store(true, std::memory_order_relaxed);
+  watcher.join();
+
+  {
+    std::lock_guard<std::mutex> lock(sched.mu);
+    res.drained = sched.closed;
+    res.retries = sched.retries;
+    res.breaker_trips = sched.breaker_trips;
+    res.virtual_units = sched.clock;
+  }
+  if (res.drained && !drain_recorded) {
+    drain_recorded = true;
+    obs::counter_add("serve.drains");
+    journal_safely([&] { journal.record_event("drain"); });
+  }
+  for (const JobResult& j : res.jobs) {
+    switch (j.state) {
+      case JobState::kDone:
+        ++res.done;
+        break;
+      case JobState::kFailed:
+        ++res.failed;
+        break;
+      case JobState::kDegraded:
+        ++res.degraded;
+        break;
+      case JobState::kPending:
+        ++res.pending;
+        break;
+    }
+  }
+  res.seconds = now_seconds() - t0;
+  journal.close();
+
+  if (!opts.report_path.empty()) {
+    std::string text = batch_report_json(res, opts).dump(2);
+    text += '\n';
+    journal_safely([&] {
+      check::fault::point("serve.report");
+      if (!util::write_file_atomic(opts.report_path, text))
+        throw std::runtime_error("cannot write report " + opts.report_path);
+    });
+  }
+  return res;
+}
+
+}  // namespace nova::serve

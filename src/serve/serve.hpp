@@ -1,0 +1,146 @@
+// Crash-safe batch serving: run a manifest of KISS2 encoding jobs through
+// encode_fsm_robust on the shared ThreadPool, with
+//
+//   - per-job isolation: each attempt gets its own child Budget and its own
+//     obs sub-report, so one poisoned job cannot sink the batch;
+//   - a write-ahead journal (serve/journal.hpp) fsync'd per record, so
+//     --resume after kill -9 skips completed jobs and reproduces their
+//     byte-identical outputs (proven by journal digests);
+//   - deterministic seeded exponential retry backoff on a *virtual* clock
+//     (serve/retry.hpp) — no test ever sleeps;
+//   - a per-job-class circuit breaker: after K consecutive hard failures
+//     the class is short-circuited to a safe-mode run recorded `degraded`
+//     instead of looping;
+//   - graceful drain: SIGINT/SIGTERM (serve/drain.hpp) stops admission,
+//     cancels the in-flight jobs' budgets (they unwind at their next
+//     checkpoint with a valid partial result), flushes the journal and the
+//     final report, and returns with partial results.
+//
+// See docs/SERVING.md for the journal format and the exact guarantees.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nova/nova.hpp"
+#include "nova/verify.hpp"
+#include "serve/journal.hpp"
+#include "serve/retry.hpp"
+#include "util/budget.hpp"
+
+namespace nova::serve {
+
+/// Canonical lowercase name of an algorithm (matches nova_cli's -e values).
+const char* algorithm_name(driver::Algorithm a);
+/// Parses an algorithm name; false on unknown names.
+bool parse_algorithm(const std::string& name, driver::Algorithm* out);
+
+/// One manifest line: a KISS2 file path or builtin benchmark name plus
+/// per-job overrides.
+struct JobSpec {
+  std::string id;    ///< unique within the batch: "<index>-<stem>"
+  std::string spec;  ///< .kiss path or builtin benchmark name
+  std::string cls;   ///< circuit-breaker class (default: the spec)
+  driver::Algorithm algorithm = driver::Algorithm::kIHybrid;
+  int nbits = 0;
+  uint64_t seed = 1;
+  int index = 0;  ///< manifest position (outputs concatenate in this order)
+};
+
+/// Parses manifest text: one job per line,
+///   <spec> [alg=<name>] [nbits=<n>] [seed=<n>] [class=<name>]
+/// Blank lines and '#' comments are ignored. On a malformed line returns an
+/// empty vector and sets *err.
+std::vector<JobSpec> parse_manifest(const std::string& text,
+                                    driver::Algorithm default_alg,
+                                    std::string* err);
+/// File variant; throws std::runtime_error on unreadable file or bad line.
+std::vector<JobSpec> parse_manifest_file(const std::string& path,
+                                         driver::Algorithm default_alg);
+/// Digest over the canonicalized manifest, recorded in the journal's batch
+/// header so a resume against a different manifest is detected.
+std::string manifest_digest(const std::vector<JobSpec>& jobs);
+
+enum class JobState { kPending, kDone, kFailed, kDegraded };
+const char* job_state_name(JobState s);
+
+struct JobResult {
+  JobSpec spec;
+  JobState state = JobState::kPending;
+  bool resumed_skip = false;  ///< satisfied from the journal, not re-run
+  int attempts = 0;
+  long backoff_units = 0;  ///< total virtual backoff charged to this job
+  std::string digest;      ///< digest of `output` (done/degraded)
+  std::string output;      ///< the job's .code text (empty when none)
+  std::string output_path; ///< file the output was written to (if out_dir)
+  std::string note;        ///< failure reason / degrade cause
+  long area = 0;
+  int nbits = 0;
+  int cubes = 0;
+  double seconds = 0.0;    ///< wall time across attempts (0 when skipped)
+  /// Counters of the job's own obs sub-report (robust.*, espresso.*, ...).
+  std::vector<std::pair<std::string, long>> counters;
+};
+
+struct BatchOptions {
+  std::string journal_path;  ///< empty = run without a journal
+  std::string out_dir;       ///< empty = keep outputs in memory only
+  std::string report_path;   ///< final JSON report; empty = skip
+  bool resume = false;       ///< replay the journal and skip terminal jobs
+  int threads = 1;
+  /// Per-attempt budget knobs (0 = unlimited in that dimension).
+  long job_deadline_ms = 0;
+  long job_work_budget = 0;
+  RetryPolicy retry;
+  int breaker_threshold = 3;
+  long breaker_cooldown_units = 512;
+  /// Soak-style seeded fault injection: with probability `fault_rate` per
+  /// attempt, arm a random NOVA_FAULT site/kind (deterministic in
+  /// fault_seed, job id, and attempt) before running it.
+  double fault_rate = 0.0;
+  uint64_t fault_seed = 0;
+  /// Attach each job's full sub-report to the JSON report (else counters
+  /// only).
+  bool keep_sub_reports = false;
+  /// Batch-level budget: its deadline/cancellation drains the whole batch.
+  /// Per-job budgets are independent children. May be null.
+  util::Budget* budget = nullptr;
+  driver::VerifyOptions verify;
+  /// Test/throttle knob: sleep this long before each attempt (also read
+  /// from NOVA_SERVE_JOB_DELAY_MS when < 0; used by the SIGKILL fixture).
+  long job_delay_ms = -1;
+};
+
+struct BatchResult {
+  std::vector<JobResult> jobs;  ///< manifest order
+  int done = 0, failed = 0, degraded = 0, pending = 0;
+  int resumed_skips = 0, retries = 0, breaker_trips = 0;
+  bool drained = false;
+  long virtual_units = 0;  ///< final virtual-clock value
+  double seconds = 0.0;
+  /// (wall seconds since batch start, jobs completed) per completion —
+  /// the throughput trajectory surfaced in BENCH_serve.json.
+  std::vector<std::pair<double, int>> trajectory;
+  /// Batch-level report: serve.* counters plus every sub-report's counters
+  /// merged in (so counter sums hold across the whole batch).
+  std::shared_ptr<obs::Report> report;
+
+  /// Every job reached a terminal state (always true unless drained).
+  bool complete() const { return pending == 0; }
+  /// Concatenated outputs of all done/degraded jobs, manifest order.
+  std::string concatenated_outputs() const;
+};
+
+/// Runs the batch. Never throws for per-job problems (they land in job
+/// states); throws std::runtime_error only for batch-level setup errors
+/// (unopenable journal, undecodable resume journal).
+BatchResult run_batch(const std::vector<JobSpec>& jobs,
+                      const BatchOptions& opts);
+
+/// Builds the final report JSON document for a batch (also written to
+/// BatchOptions::report_path when set).
+obs::Json batch_report_json(const BatchResult& res, const BatchOptions& opts);
+
+}  // namespace nova::serve

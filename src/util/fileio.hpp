@@ -1,0 +1,92 @@
+// Durable file writes for journals, reports, and batch outputs.
+//
+// write_file_atomic writes to "<path>.tmp", fsyncs the data, renames over
+// the destination, and fsyncs the containing directory: a crash at any
+// point leaves either the previous complete file or the new complete file,
+// never a truncated one. All report/journal writers in the tree go through
+// this helper (see docs/SERVING.md "Durability").
+#pragma once
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <string>
+
+namespace nova::util {
+
+namespace detail {
+
+/// write(2) until everything is on its way to the kernel; false on error.
+inline bool write_all(int fd, const char* data, size_t size) {
+  while (size > 0) {
+    ssize_t n = ::write(fd, data, size);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    data += n;
+    size -= static_cast<size_t>(n);
+  }
+  return true;
+}
+
+/// Best-effort fsync of the directory containing `path` so the rename
+/// itself is durable (ignored on filesystems that reject directory fds).
+inline void fsync_parent_dir(const std::string& path) {
+  auto slash = path.find_last_of('/');
+  std::string dir = slash == std::string::npos ? "." : path.substr(0, slash);
+  if (dir.empty()) dir = "/";
+  int dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (dfd >= 0) {
+    ::fsync(dfd);
+    ::close(dfd);
+  }
+}
+
+}  // namespace detail
+
+/// mkdir -p: creates `path` and any missing parents. True when the
+/// directory exists on return.
+inline bool ensure_dir(const std::string& path) {
+  if (path.empty()) return false;
+  std::string prefix;
+  size_t pos = 0;
+  while (pos <= path.size()) {
+    size_t slash = path.find('/', pos);
+    prefix = slash == std::string::npos ? path : path.substr(0, slash);
+    if (!prefix.empty() && ::mkdir(prefix.c_str(), 0755) != 0 &&
+        errno != EEXIST)
+      return false;
+    if (slash == std::string::npos) break;
+    pos = slash + 1;
+  }
+  struct stat st;
+  return ::stat(path.c_str(), &st) == 0 && S_ISDIR(st.st_mode);
+}
+
+/// Atomically replaces `path` with `text` (tmp file + fsync + rename).
+/// Returns false on any I/O error; the destination is untouched on failure.
+inline bool write_file_atomic(const std::string& path,
+                              const std::string& text) {
+  std::string tmp = path + ".tmp";
+  int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC,
+                  0644);
+  if (fd < 0) return false;
+  bool ok = detail::write_all(fd, text.data(), text.size());
+  if (ok && ::fsync(fd) != 0) ok = false;
+  if (::close(fd) != 0) ok = false;
+  if (!ok) {
+    ::unlink(tmp.c_str());
+    return false;
+  }
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    ::unlink(tmp.c_str());
+    return false;
+  }
+  detail::fsync_parent_dir(path);
+  return true;
+}
+
+}  // namespace nova::util

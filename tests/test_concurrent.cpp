@@ -1,0 +1,139 @@
+// Concurrency safety: N threads calling encode_fsm_robust at once under
+// armed fault injection and tight budgets (the batch server's exact usage
+// pattern), plus a multi-threaded run_batch. Runs under the ASan/UBSan CI
+// job; any data race in the fault registry, the obs layer, or the budget
+// plumbing surfaces here.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <vector>
+
+#include "bench_data/benchmarks.hpp"
+#include "check/faultinject.hpp"
+#include "nova/robust.hpp"
+#include "obs/obs.hpp"
+#include "serve/serve.hpp"
+#include "util/budget.hpp"
+#include "util/thread_pool.hpp"
+
+using namespace nova;
+namespace fault = nova::check::fault;
+
+namespace {
+
+const char* kMachines[] = {"lion",  "dk14",     "bbara", "shiftreg",
+                           "bbtas", "beecount", "dk27",  "train11"};
+
+}  // namespace
+
+TEST(Concurrent, ParallelRobustEncodesUnderFaultAndBudgets) {
+  constexpr int kThreads = 8;
+  // One fault armed across the pool: it fires in exactly one thread; every
+  // thread must still produce a usable, verified outcome.
+  fault::arm("driver.verify:3:error");
+  std::vector<std::shared_ptr<obs::Report>> reports(kThreads);
+  std::vector<int> usable(kThreads, 0);
+  util::ThreadPool pool(kThreads);
+  pool.run_indexed(kThreads, [&](int i) {
+    reports[i] = std::make_shared<obs::Report>();
+    obs::TraceSession session(*reports[i]);
+    util::Budget b;
+    b.set_work_limit(50 + 100 * i);  // some runs exhaust, some don't
+    driver::NovaOptions opts;
+    opts.budget = &b;
+    driver::RobustOptions ropts;
+    auto fsm = bench_data::load_benchmark(kMachines[i % 8]);
+    auto out = driver::encode_fsm_robust(fsm, opts, ropts);
+    if (out.usable() && out.value.verified &&
+        out.value.nova.enc.injective())
+      usable[i] = 1;
+  });
+  fault::disarm();
+  long rungs = 0;
+  for (int i = 0; i < kThreads; ++i) {
+    EXPECT_EQ(usable[i], 1) << "thread " << i;
+    // Each thread's counters landed in its own report (per-job isolation).
+    EXPECT_GE(reports[i]->counter("robust.rungs_tried"), 1) << i;
+    rungs += reports[i]->counter("robust.rungs_tried");
+  }
+  EXPECT_GE(rungs, kThreads);
+}
+
+TEST(Concurrent, FaultRegistryReArmRace) {
+  // The soak scheduler re-arms the registry from worker threads while
+  // other workers probe it. This must be free of data races (ASan/TSan)
+  // and of crashes; which faults actually fire is intentionally fuzzy.
+  constexpr int kThreads = 4;
+  std::atomic<int> usable{0};
+  util::ThreadPool pool(kThreads);
+  pool.run_indexed(kThreads, [&](int i) {
+    for (int round = 0; round < 6; ++round) {
+      if ((i + round) % 2 == 0) {
+        fault::arm(round % 2 == 0 ? "driver.verify:1:error"
+                                  : "embed.search:2:alloc");
+      }
+      util::Budget b;
+      b.set_work_limit(400);
+      driver::NovaOptions opts;
+      opts.budget = &b;
+      auto fsm = bench_data::load_benchmark(kMachines[(i * 3 + round) % 8]);
+      auto out = driver::encode_fsm_robust(fsm, opts);
+      if (out.usable()) usable.fetch_add(1);
+      if ((i + round) % 2 == 0) fault::disarm();
+    }
+  });
+  fault::disarm();
+  EXPECT_EQ(usable.load(), kThreads * 6);
+}
+
+TEST(Concurrent, MultiThreadedBatchTerminatesEveryJobAndSumsCounters) {
+  std::string manifest;
+  for (int i = 0; i < 12; ++i)
+    manifest += std::string(kMachines[i % 8]) + " seed=" +
+                std::to_string(i + 1) + "\n";
+  std::string err;
+  auto jobs =
+      serve::parse_manifest(manifest, driver::Algorithm::kIHybrid, &err);
+  ASSERT_TRUE(err.empty()) << err;
+  serve::BatchOptions opts;
+  opts.threads = 4;
+  opts.job_work_budget = 300;  // tight: forces degradation paths
+  opts.keep_sub_reports = true;
+  auto res = serve::run_batch(jobs, opts);
+  EXPECT_TRUE(res.complete());
+  EXPECT_EQ(res.pending, 0);
+  int terminal = 0;
+  long sub_rungs = 0;
+  for (const auto& j : res.jobs) {
+    if (j.state != serve::JobState::kPending) ++terminal;
+    if (j.state == serve::JobState::kDone ||
+        j.state == serve::JobState::kDegraded) {
+      EXPECT_FALSE(j.output.empty()) << j.spec.id;
+      EXPECT_EQ(j.digest, serve::fnv1a_hex(j.output)) << j.spec.id;
+    }
+    for (const auto& [name, value] : j.counters)
+      if (name == "robust.rungs_tried") sub_rungs += value;
+  }
+  EXPECT_EQ(terminal, 12);
+  // Counter sums hold across sub-reports merged into the batch report.
+  EXPECT_EQ(res.report->counter("robust.rungs_tried"), sub_rungs);
+  EXPECT_GE(res.report->counter("serve.attempts"), 12);
+}
+
+TEST(Concurrent, ParallelBatchWithSoakFaultsStaysAccounted) {
+  std::string manifest;
+  for (int i = 0; i < 10; ++i)
+    manifest += std::string(kMachines[i % 8]) + "\n";
+  std::string err;
+  auto jobs =
+      serve::parse_manifest(manifest, driver::Algorithm::kIHybrid, &err);
+  ASSERT_TRUE(err.empty()) << err;
+  serve::BatchOptions opts;
+  opts.threads = 4;
+  opts.fault_rate = 0.5;
+  opts.fault_seed = 77;
+  auto res = serve::run_batch(jobs, opts);
+  EXPECT_TRUE(res.complete());
+  EXPECT_EQ(res.done + res.degraded + res.failed, 10);
+}

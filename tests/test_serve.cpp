@@ -1,0 +1,522 @@
+// The batch-serving subsystem: manifest parsing, journal round-trip and
+// torn-tail tolerance, atomic file writes, deterministic retry backoff, the
+// circuit breaker, and run_batch itself — happy path, retry under injected
+// faults, breaker short-circuit, graceful drain, resume, and the serve-site
+// fault sweep.
+#include "serve/serve.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "check/faultinject.hpp"
+#include "serve/drain.hpp"
+#include "util/fileio.hpp"
+
+using namespace nova;
+namespace fault = nova::check::fault;
+
+namespace {
+
+/// Disarms on scope exit so one test's fault cannot leak into the next.
+struct Armed {
+  explicit Armed(const std::string& spec) { fault::arm(spec); }
+  ~Armed() { fault::disarm(); }
+};
+
+std::string tmp_dir(const std::string& name) {
+  std::string dir =
+      std::string(::testing::TempDir()) + "nova_serve_" + name;
+  EXPECT_TRUE(util::ensure_dir(dir));
+  return dir;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+std::vector<serve::JobSpec> jobs_from(const std::string& manifest) {
+  std::string err;
+  auto jobs =
+      serve::parse_manifest(manifest, driver::Algorithm::kIHybrid, &err);
+  EXPECT_TRUE(err.empty()) << err;
+  return jobs;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- manifest
+
+TEST(Manifest, ParsesSpecsOverridesAndComments) {
+  auto jobs = jobs_from(
+      "# header comment\n"
+      "lion\n"
+      "dk14 alg=igreedy nbits=4 seed=9 class=dk\n"
+      "\n"
+      "bbara  # trailing comment\n");
+  ASSERT_EQ(jobs.size(), 3u);
+  EXPECT_EQ(jobs[0].spec, "lion");
+  EXPECT_EQ(jobs[0].id, "0000-lion");
+  EXPECT_EQ(jobs[0].cls, "lion");
+  EXPECT_EQ(jobs[1].algorithm, driver::Algorithm::kIGreedy);
+  EXPECT_EQ(jobs[1].nbits, 4);
+  EXPECT_EQ(jobs[1].seed, 9u);
+  EXPECT_EQ(jobs[1].cls, "dk");
+  EXPECT_EQ(jobs[2].index, 2);
+}
+
+TEST(Manifest, UniqueIdsForRepeatedSpecs) {
+  auto jobs = jobs_from("lion\nlion\nlion\n");
+  ASSERT_EQ(jobs.size(), 3u);
+  EXPECT_NE(jobs[0].id, jobs[1].id);
+  EXPECT_NE(jobs[1].id, jobs[2].id);
+}
+
+TEST(Manifest, RejectsMalformedLines) {
+  std::string err;
+  EXPECT_TRUE(
+      serve::parse_manifest("lion alg=nosuch\n", driver::Algorithm::kIHybrid,
+                            &err)
+          .empty());
+  EXPECT_NE(err.find("nosuch"), std::string::npos);
+  err.clear();
+  EXPECT_TRUE(serve::parse_manifest("lion bogus\n",
+                                    driver::Algorithm::kIHybrid, &err)
+                  .empty());
+  EXPECT_FALSE(err.empty());
+}
+
+TEST(Manifest, DigestIsStableAndCoversOverrides) {
+  auto a = jobs_from("lion\ndk14\n");
+  auto b = jobs_from("lion\ndk14\n");
+  auto c = jobs_from("lion seed=2\ndk14\n");
+  EXPECT_EQ(serve::manifest_digest(a), serve::manifest_digest(b));
+  EXPECT_NE(serve::manifest_digest(a), serve::manifest_digest(c));
+}
+
+TEST(Manifest, AlgorithmNamesRoundTrip) {
+  for (const char* name :
+       {"iexact", "ihybrid", "igreedy", "iohybrid", "iovariant", "kiss",
+        "mustang-p", "mustang-n", "random"}) {
+    driver::Algorithm a;
+    ASSERT_TRUE(serve::parse_algorithm(name, &a)) << name;
+    EXPECT_STREQ(serve::algorithm_name(a), name);
+  }
+  driver::Algorithm a;
+  EXPECT_FALSE(serve::parse_algorithm("bogus", &a));
+}
+
+// ----------------------------------------------------------------- journal
+
+TEST(Journal, RoundTripsRecordsIntoPerJobState) {
+  std::string path = tmp_dir("journal") + "/j.jsonl";
+  std::remove(path.c_str());
+  {
+    serve::Journal j;
+    j.open(path);
+    j.record_batch("abcd", 2, false);
+    j.record_queued("0000-a", "a");
+    j.record_queued("0001-b", "b");
+    j.record_running("0000-a", 1);
+    j.record_retry("0000-a", 2, 64, "boom");
+    j.record_running("0000-a", 2);
+    j.record_done("0000-a", "00112233445566aa", 2, 42);
+    j.record_running("0001-b", 1);
+    j.record_failed("0001-b", "bad spec", 1);
+    j.close();
+  }
+  auto rep = serve::replay_journal(path);
+  EXPECT_TRUE(rep.clean());
+  EXPECT_FALSE(rep.truncated_tail);
+  EXPECT_EQ(rep.manifest_digest, "abcd");
+  ASSERT_EQ(rep.jobs.size(), 2u);
+  const auto* a = rep.find("0000-a");
+  ASSERT_NE(a, nullptr);
+  EXPECT_EQ(a->terminal, "done");
+  EXPECT_EQ(a->digest, "00112233445566aa");
+  EXPECT_EQ(a->attempts, 2);
+  const auto* b = rep.find("0001-b");
+  ASSERT_NE(b, nullptr);
+  EXPECT_EQ(b->terminal, "failed");
+  EXPECT_EQ(b->cause, "bad spec");
+  EXPECT_TRUE(rep.fully_accounted());
+  EXPECT_EQ(rep.count_terminal("done"), 1);
+  EXPECT_EQ(rep.count_terminal("failed"), 1);
+}
+
+TEST(Journal, ToleratesTornFinalLineOnly) {
+  std::string path = tmp_dir("torn") + "/j.jsonl";
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << R"({"type":"queued","job":"x","class":"x"})" << "\n";
+    out << R"({"type":"done","job":"x","dig)";  // crash mid-append
+  }
+  auto rep = serve::replay_journal(path);
+  EXPECT_TRUE(rep.clean());
+  EXPECT_TRUE(rep.truncated_tail);
+  const auto* x = rep.find("x");
+  ASSERT_NE(x, nullptr);
+  EXPECT_EQ(x->terminal, "");  // the torn record never happened
+  EXPECT_FALSE(rep.fully_accounted());
+}
+
+TEST(Journal, MalformedInteriorLineIsCorruption) {
+  std::string path = tmp_dir("corrupt") + "/j.jsonl";
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "not json at all\n";
+    out << R"({"type":"queued","job":"x","class":"x"})" << "\n";
+  }
+  auto rep = serve::replay_journal(path);
+  EXPECT_FALSE(rep.clean());
+}
+
+TEST(Journal, MissingFileIsEmptyAndClean) {
+  auto rep = serve::replay_journal(tmp_dir("nofile") + "/absent.jsonl");
+  EXPECT_TRUE(rep.clean());
+  EXPECT_TRUE(rep.jobs.empty());
+}
+
+TEST(Journal, DigestIsFnv1a) {
+  EXPECT_EQ(serve::fnv1a_hex(""), "cbf29ce484222325");
+  EXPECT_EQ(serve::fnv1a_hex("a"), "af63dc4c8601ec8c");
+  EXPECT_EQ(serve::fnv1a_hex("hello"), "a430d84680aabd0b");
+}
+
+// ------------------------------------------------------------ atomic write
+
+TEST(FileIo, AtomicWriteReplacesWholeFile) {
+  std::string dir = tmp_dir("atomic");
+  std::string path = dir + "/r.json";
+  ASSERT_TRUE(util::write_file_atomic(path, "first"));
+  EXPECT_EQ(read_file(path), "first");
+  ASSERT_TRUE(util::write_file_atomic(path, "second, longer content"));
+  EXPECT_EQ(read_file(path), "second, longer content");
+  // No temp file left behind.
+  EXPECT_TRUE(read_file(path + ".tmp").empty());
+}
+
+TEST(FileIo, AtomicWriteFailsCleanlyOnBadPath) {
+  EXPECT_FALSE(util::write_file_atomic(
+      tmp_dir("atomicbad") + "/no/such/dir/r.json", "x"));
+}
+
+TEST(FileIo, EnsureDirCreatesNestedPaths) {
+  std::string dir = tmp_dir("mkdirs") + "/a/b/c";
+  EXPECT_TRUE(util::ensure_dir(dir));
+  EXPECT_TRUE(util::ensure_dir(dir));  // idempotent
+  ASSERT_TRUE(util::write_file_atomic(dir + "/f", "ok"));
+}
+
+// ------------------------------------------------------------------- retry
+
+TEST(Retry, BackoffIsDeterministicAndExponential) {
+  serve::RetryPolicy p;
+  EXPECT_EQ(p.backoff_units(2, 7), p.backoff_units(2, 7));
+  EXPECT_EQ(p.backoff_units(3, 7), p.backoff_units(3, 7));
+  // Different jobs get different jitter; different attempts grow roughly
+  // exponentially (jitter is bounded by +-25%).
+  EXPECT_NE(p.backoff_units(2, 7), p.backoff_units(2, 8));
+  long b2 = p.backoff_units(2, 7), b3 = p.backoff_units(3, 7),
+       b4 = p.backoff_units(4, 7);
+  EXPECT_GE(b2, p.base_backoff_units * 3 / 4);
+  EXPECT_LE(b2, p.base_backoff_units * 5 / 4);
+  EXPECT_GT(b3, b2 / 2);
+  EXPECT_GT(b4, b3 / 2);
+  EXPECT_LE(b4, p.max_backoff_units);
+}
+
+TEST(Retry, BackoffRespectsCap) {
+  serve::RetryPolicy p;
+  p.base_backoff_units = 1 << 19;
+  long b = p.backoff_units(10, 3);
+  EXPECT_LE(b, p.max_backoff_units + p.max_backoff_units / 4);
+  EXPECT_GE(b, 1);
+}
+
+TEST(Breaker, OpensAfterThresholdAndRecloses) {
+  serve::CircuitBreaker br(3, 100);
+  EXPECT_TRUE(br.admit(0));
+  EXPECT_FALSE(br.on_failure(1));
+  EXPECT_FALSE(br.on_failure(2));
+  EXPECT_TRUE(br.on_failure(3));  // third consecutive failure: trips
+  EXPECT_EQ(br.state(4), serve::CircuitBreaker::State::kOpen);
+  EXPECT_FALSE(br.admit(4));
+  // After the cooldown one probe is admitted, a second is not.
+  EXPECT_EQ(br.state(103), serve::CircuitBreaker::State::kHalfOpen);
+  EXPECT_TRUE(br.admit(103));
+  EXPECT_FALSE(br.admit(103));
+  br.on_success();
+  EXPECT_EQ(br.state(104), serve::CircuitBreaker::State::kClosed);
+  EXPECT_TRUE(br.admit(104));
+}
+
+TEST(Breaker, FailedProbeRestartsCooldown) {
+  serve::CircuitBreaker br(1, 100);
+  EXPECT_TRUE(br.on_failure(0));
+  EXPECT_TRUE(br.admit(100));       // half-open probe
+  EXPECT_FALSE(br.on_failure(100));  // probe fails: still open
+  EXPECT_FALSE(br.admit(150));       // cooldown restarted at 100
+  EXPECT_TRUE(br.admit(200));
+}
+
+// --------------------------------------------------------------- run_batch
+
+TEST(Batch, HappyPathIsDeterministic) {
+  auto jobs = jobs_from("lion\ndk14\nshiftreg\n");
+  serve::BatchOptions opts;
+  auto r1 = serve::run_batch(jobs, opts);
+  auto r2 = serve::run_batch(jobs, opts);
+  EXPECT_EQ(r1.done, 3);
+  EXPECT_EQ(r1.failed + r1.degraded + r1.pending, 0);
+  EXPECT_TRUE(r1.complete());
+  EXPECT_FALSE(r1.drained);
+  std::string out1 = r1.concatenated_outputs();
+  EXPECT_EQ(out1, r2.concatenated_outputs());
+  EXPECT_NE(out1.find(".code"), std::string::npos);
+  for (const auto& j : r1.jobs) {
+    EXPECT_EQ(j.state, serve::JobState::kDone);
+    EXPECT_EQ(j.digest, serve::fnv1a_hex(j.output));
+    EXPECT_EQ(j.attempts, 1);
+  }
+  ASSERT_TRUE(r1.report != nullptr);
+  EXPECT_EQ(r1.report->counter("serve.jobs_done"), 3);
+  EXPECT_EQ(r1.report->counter("serve.attempts"), 3);
+}
+
+TEST(Batch, CountersSumAcrossSubReports) {
+  auto jobs = jobs_from("lion\nbbara\n");
+  serve::BatchOptions opts;
+  opts.keep_sub_reports = true;
+  auto res = serve::run_batch(jobs, opts);
+  ASSERT_TRUE(res.complete());
+  long sub_sum = 0;
+  for (const auto& j : res.jobs) {
+    for (const auto& [name, value] : j.counters) {
+      if (name == "robust.rungs_tried") sub_sum += value;
+    }
+  }
+  EXPECT_GT(sub_sum, 0);
+  // Every sub-report counter was merged into the batch report, so the batch
+  // total equals the sum over jobs.
+  EXPECT_EQ(res.report->counter("robust.rungs_tried"), sub_sum);
+}
+
+TEST(Batch, RetriesAfterInjectedFaultThenSucceeds) {
+  auto jobs = jobs_from("lion\n");
+  serve::BatchOptions opts;
+  Armed armed("serve.job:1:error");  // fires once: first attempt only
+  auto res = serve::run_batch(jobs, opts);
+  EXPECT_TRUE(res.complete());
+  EXPECT_EQ(res.done, 1);
+  EXPECT_EQ(res.retries, 1);
+  EXPECT_EQ(res.jobs[0].attempts, 2);
+  EXPECT_GT(res.jobs[0].backoff_units, 0);
+}
+
+TEST(Batch, FailedJobIsIsolatedAndTerminal) {
+  auto jobs = jobs_from("no_such_benchmark\nlion\n");
+  serve::BatchOptions opts;
+  opts.retry.max_attempts = 2;
+  auto res = serve::run_batch(jobs, opts);
+  EXPECT_TRUE(res.complete());
+  EXPECT_EQ(res.failed, 1);
+  EXPECT_EQ(res.done, 1);
+  EXPECT_EQ(res.jobs[0].state, serve::JobState::kFailed);
+  EXPECT_NE(res.jobs[0].note.find("no_such_benchmark"), std::string::npos);
+  EXPECT_EQ(res.jobs[0].attempts, 2);
+  EXPECT_EQ(res.jobs[1].state, serve::JobState::kDone);
+}
+
+TEST(Batch, BreakerShortCircuitsToSafeModeDegraded) {
+  // Two hard-failing jobs open the class breaker; the third job of the
+  // same class is a valid machine and completes in safe mode: terminal
+  // `degraded`, cause "breaker".
+  auto jobs = jobs_from(
+      "no_such_1 class=mix\n"
+      "no_such_2 class=mix\n"
+      "lion class=mix\n");
+  serve::BatchOptions opts;
+  opts.retry.max_attempts = 1;
+  opts.breaker_threshold = 2;
+  opts.breaker_cooldown_units = 1000000;  // stays open for the whole batch
+  auto res = serve::run_batch(jobs, opts);
+  EXPECT_TRUE(res.complete());
+  EXPECT_EQ(res.failed, 2);
+  EXPECT_EQ(res.breaker_trips, 1);
+  ASSERT_EQ(res.jobs[2].state, serve::JobState::kDegraded);
+  EXPECT_EQ(res.jobs[2].note, "breaker");
+  EXPECT_FALSE(res.jobs[2].output.empty());
+  EXPECT_EQ(res.jobs[2].digest, serve::fnv1a_hex(res.jobs[2].output));
+  EXPECT_EQ(res.report->counter("serve.breaker_open"), 1);
+  EXPECT_EQ(res.report->counter("serve.breaker_shortcircuit"), 1);
+}
+
+TEST(Batch, DrainLeavesPendingJobsAndResumeFinishes) {
+  std::string dir = tmp_dir("drain");
+  std::string journal = dir + "/j.jsonl";
+  std::remove(journal.c_str());
+  auto jobs = jobs_from("lion\nlion seed=2\nlion seed=3\nlion seed=4\n");
+  serve::BatchOptions opts;
+  opts.journal_path = journal;
+  opts.out_dir = dir + "/out";
+  opts.job_delay_ms = 30;  // every attempt outlasts the watcher's poll
+  serve::reset_drain();
+  serve::request_drain();
+  auto res = serve::run_batch(jobs, opts);
+  serve::reset_drain();
+  EXPECT_TRUE(res.drained);
+  EXPECT_FALSE(res.complete());
+  EXPECT_GE(res.pending, 2);
+
+  // Resume finishes the batch; already-terminal jobs are not re-run.
+  serve::BatchOptions ropts = opts;
+  ropts.job_delay_ms = 0;
+  ropts.resume = true;
+  auto res2 = serve::run_batch(jobs, ropts);
+  EXPECT_TRUE(res2.complete());
+  EXPECT_FALSE(res2.drained);
+  EXPECT_EQ(res2.done + res2.degraded + res2.failed, 4);
+  auto rep = serve::replay_journal(journal);
+  EXPECT_TRUE(rep.clean());
+  EXPECT_TRUE(rep.fully_accounted());
+  // The journal never accumulates a second done record for any job.
+  for (const auto& [id, st] : rep.jobs) EXPECT_LE(st.done_records, 1) << id;
+}
+
+TEST(Batch, ResumeSkipsTerminalJobsAndIsByteIdentical) {
+  std::string dir = tmp_dir("resume");
+  std::string journal = dir + "/j.jsonl";
+  std::remove(journal.c_str());
+  auto jobs = jobs_from("lion\ndk14\nbbara\n");
+  serve::BatchOptions opts;
+  opts.journal_path = journal;
+  opts.out_dir = dir + "/out";
+  auto res1 = serve::run_batch(jobs, opts);
+  ASSERT_TRUE(res1.complete());
+  std::string reference = res1.concatenated_outputs();
+
+  serve::BatchOptions ropts = opts;
+  ropts.resume = true;
+  auto res2 = serve::run_batch(jobs, ropts);
+  EXPECT_TRUE(res2.complete());
+  EXPECT_EQ(res2.resumed_skips, 3);
+  EXPECT_EQ(res2.report->counter("serve.resume_skipped"), 3);
+  EXPECT_EQ(res2.concatenated_outputs(), reference);
+  for (const auto& j : res2.jobs) {
+    EXPECT_TRUE(j.resumed_skip);
+    EXPECT_EQ(j.seconds, 0.0);
+  }
+}
+
+TEST(Batch, ResumeReRunsJobsWithTamperedOutputs) {
+  std::string dir = tmp_dir("tamper");
+  std::string journal = dir + "/j.jsonl";
+  std::remove(journal.c_str());
+  auto jobs = jobs_from("lion\ndk14\n");
+  serve::BatchOptions opts;
+  opts.journal_path = journal;
+  opts.out_dir = dir + "/out";
+  auto res1 = serve::run_batch(jobs, opts);
+  ASSERT_TRUE(res1.complete());
+  // Corrupt one output on disk; the journal digest no longer matches.
+  ASSERT_TRUE(util::write_file_atomic(res1.jobs[0].output_path, "tampered"));
+
+  serve::BatchOptions ropts = opts;
+  ropts.resume = true;
+  auto res2 = serve::run_batch(jobs, ropts);
+  EXPECT_TRUE(res2.complete());
+  EXPECT_EQ(res2.resumed_skips, 1);  // only the intact job is skipped
+  EXPECT_FALSE(res2.jobs[0].resumed_skip);
+  EXPECT_EQ(res2.jobs[0].state, serve::JobState::kDone);
+  // The re-run restored the byte-identical output.
+  EXPECT_EQ(res2.jobs[0].output, res1.jobs[0].output);
+  EXPECT_EQ(read_file(res1.jobs[0].output_path), res1.jobs[0].output);
+}
+
+TEST(Batch, CorruptJournalRefusesToResume) {
+  std::string dir = tmp_dir("refuse");
+  std::string journal = dir + "/j.jsonl";
+  {
+    std::ofstream out(journal, std::ios::binary);
+    out << "garbage line\n" << R"({"type":"drain"})" << "\n";
+  }
+  auto jobs = jobs_from("lion\n");
+  serve::BatchOptions opts;
+  opts.journal_path = journal;
+  opts.resume = true;
+  EXPECT_THROW(serve::run_batch(jobs, opts), std::runtime_error);
+}
+
+TEST(Batch, ReportJsonIsWrittenAtomicallyAndParses) {
+  std::string dir = tmp_dir("report");
+  auto jobs = jobs_from("lion\n");
+  serve::BatchOptions opts;
+  opts.report_path = dir + "/report.json";
+  auto res = serve::run_batch(jobs, opts);
+  ASSERT_TRUE(res.complete());
+  std::string text = read_file(opts.report_path);
+  std::string err;
+  auto doc = obs::Json::parse(text, &err);
+  ASSERT_TRUE(doc.has_value()) << err;
+  const obs::Json* totals = doc->find("totals");
+  ASSERT_NE(totals, nullptr);
+  EXPECT_EQ(totals->find("done")->as_long(), 1);
+  EXPECT_TRUE(read_file(opts.report_path + ".tmp").empty());
+}
+
+// Every serve-layer probe site, under every fault kind: the batch still
+// terminates every job, exits cleanly, and leaves a clean journal.
+TEST(Batch, ServeFaultSiteSweepAlwaysTerminates) {
+  const char* sites[] = {"serve.journal", "serve.job", "serve.report"};
+  const char* kinds[] = {"error", "alloc", "timeout"};
+  std::string dir = tmp_dir("sweep");
+  int combo = 0;
+  for (const char* site : sites) {
+    for (const char* kind : kinds) {
+      std::string journal =
+          dir + "/j" + std::to_string(combo) + ".jsonl";
+      serve::BatchOptions opts;
+      opts.journal_path = journal;
+      opts.report_path = dir + "/r" + std::to_string(combo) + ".json";
+      ++combo;
+      auto jobs = jobs_from("lion\ndk14\n");
+      Armed armed(std::string(site) + ":1:" + kind);
+      auto res = serve::run_batch(jobs, opts);
+      EXPECT_TRUE(res.complete()) << site << ":" << kind;
+      EXPECT_EQ(res.failed, 0) << site << ":" << kind;
+      auto rep = serve::replay_journal(journal);
+      EXPECT_TRUE(rep.clean()) << site << ":" << kind;
+      EXPECT_TRUE(rep.fully_accounted()) << site << ":" << kind;
+      // The report survived the injected fault too (written on retry).
+      EXPECT_FALSE(read_file(opts.report_path).empty())
+          << site << ":" << kind;
+    }
+  }
+}
+
+TEST(Batch, SoakFaultInjectionIsSeededAndAccounted) {
+  std::string dir = tmp_dir("soak");
+  std::string journal = dir + "/j.jsonl";
+  std::remove(journal.c_str());
+  auto jobs = jobs_from("lion\ndk14\nbbara\nshiftreg\nlion seed=5\n");
+  serve::BatchOptions opts;
+  opts.journal_path = journal;
+  opts.fault_rate = 0.7;
+  opts.fault_seed = 1234;
+  auto res1 = serve::run_batch(jobs, opts);
+  EXPECT_TRUE(res1.complete());
+  auto rep = serve::replay_journal(journal);
+  EXPECT_TRUE(rep.clean());
+  EXPECT_TRUE(rep.fully_accounted());
+  // Zero silently dropped: every queued job is terminal.
+  EXPECT_EQ(rep.count_terminal("done") + rep.count_terminal("failed") +
+                rep.count_terminal("degraded"),
+            static_cast<int>(jobs.size()));
+}
